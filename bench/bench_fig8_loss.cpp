@@ -1,0 +1,69 @@
+// Reproduces paper Figure 8: impact of network loss on per-window CLF.
+//
+// Setup (from the figure captions): Jurassic Park trace, RTT 23 ms,
+// BW 1.2 Mb/s, GOP 12, W = 2 GOPs, packet 16384 bits, P_good = 0.92,
+// P_bad in {0.6, 0.7}; 100 buffer windows; scrambled (layered k-CPO) vs
+// un-scrambled (MPEG coding order) transmission.
+//
+// Paper reference numbers:
+//   P_bad = 0.6: un-scrambled mean 1.71 dev 0.92; scrambled mean 1.46 dev 0.56
+//   P_bad = 0.7: un-scrambled mean 1.63 dev 0.85; scrambled mean 1.56 dev 0.79
+#include <cstdio>
+
+#include "protocol/session.hpp"
+
+using espread::proto::run_session;
+using espread::proto::Scheme;
+using espread::proto::SessionConfig;
+using espread::proto::SessionResult;
+
+namespace {
+
+SessionConfig fig8_config(double p_bad, Scheme scheme, std::uint64_t seed) {
+    SessionConfig cfg;  // defaults already match the paper's setup
+    cfg.data_loss = {0.92, p_bad};
+    cfg.feedback_loss = {0.92, p_bad};
+    cfg.scheme = scheme;
+    cfg.num_windows = 100;
+    cfg.seed = seed;
+    return cfg;
+}
+
+void run_panel(double p_bad, double paper_plain_mean, double paper_plain_dev,
+               double paper_spread_mean, double paper_spread_dev) {
+    constexpr std::uint64_t kSeed = 42;
+    const SessionResult plain =
+        run_session(fig8_config(p_bad, Scheme::kInOrder, kSeed));
+    const SessionResult spread =
+        run_session(fig8_config(p_bad, Scheme::kLayeredSpread, kSeed));
+
+    std::printf("---- P_bad = %.1f (RTT 23 ms, BW 1.2 Mb/s, W = 2, GOP 12, pkt 16384) ----\n\n",
+                p_bad);
+    std::printf("window: unscrambled CLF | scrambled CLF | actual n/w packet burst\n");
+    for (std::size_t k = 0; k < plain.windows.size(); ++k) {
+        std::printf("  %3zu : %15zu | %13zu | %zu\n", k, plain.windows[k].clf,
+                    spread.windows[k].clf, spread.windows[k].actual_packet_burst);
+    }
+    const auto ps = plain.clf_stats();
+    const auto ss = spread.clf_stats();
+    std::printf("\n            %-22s %-22s\n", "mean CLF (paper)", "dev CLF (paper)");
+    std::printf("unscrambled %-5.2f (%.2f)%12s %-5.2f (%.2f)\n", ps.mean(),
+                paper_plain_mean, "", ps.deviation(), paper_plain_dev);
+    std::printf("scrambled   %-5.2f (%.2f)%12s %-5.2f (%.2f)\n", ss.mean(),
+                paper_spread_mean, "", ss.deviation(), paper_spread_dev);
+    std::printf("aggregate loss (ALF): unscrambled %.3f, scrambled %.3f "
+                "(bandwidth-neutral: ~equal)\n\n",
+                plain.total.alf, spread.total.alf);
+}
+
+}  // namespace
+
+int main() {
+    std::printf("== Figure 8: CLF per buffer window under bursty network loss ==\n\n");
+    run_panel(0.6, 1.71, 0.92, 1.46, 0.56);
+    run_panel(0.7, 1.63, 0.85, 1.56, 0.79);
+    std::printf(
+        "shape check (paper's claim): scrambling lowers BOTH the mean and the\n"
+        "deviation of per-window CLF, holding aggregate loss unchanged.\n");
+    return 0;
+}

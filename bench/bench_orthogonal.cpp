@@ -1,0 +1,50 @@
+// Validates the §4.3 orthogonality claim as an experiment matrix:
+// {un-scrambled, scrambled} x {plain, retransmission, FEC, both} on the
+// same network, reporting CLF (what spreading protects) and ALF (what the
+// redundancy schemes protect) plus bandwidth spent.
+#include <cstdio>
+
+#include "protocol/session.hpp"
+
+using espread::proto::run_session;
+using espread::proto::Scheme;
+using espread::proto::SessionConfig;
+
+int main() {
+    std::printf("== §4.3: error spreading as an orthogonal dimension ==\n");
+    std::printf("(Jurassic Park, 100 windows, Gilbert(0.92, 0.6), 2.0 Mb/s link)\n\n");
+    std::printf("redundancy     | scheme   | CLF mean/dev  | ALF   | Mbit sent\n");
+    std::printf("---------------+----------+---------------+-------+----------\n");
+
+    struct Mode {
+        const char* name;
+        bool retransmit;
+        bool fec;
+    };
+    for (const Mode mode : {Mode{"none", false, false},
+                            Mode{"retransmit", true, false},
+                            Mode{"FEC(4+2)", false, true},
+                            Mode{"retx + FEC", true, true}}) {
+        for (const bool spread : {false, true}) {
+            SessionConfig cfg;
+            cfg.scheme = spread ? Scheme::kLayeredSpread : Scheme::kInOrder;
+            cfg.retransmit_critical = mode.retransmit;
+            if (mode.fec) cfg.fec = {4, 2};
+            cfg.data_link.bandwidth_bps = 2e6;
+            cfg.feedback_link.bandwidth_bps = 2e6;
+            cfg.num_windows = 100;
+            cfg.seed = 3;
+            const auto r = run_session(cfg);
+            const auto s = r.clf_stats();
+            std::printf("%-14s | %-8s | %5.2f / %-5.2f | %.3f | %8.1f\n",
+                        mode.name, spread ? "spread" : "in-order", s.mean(),
+                        s.deviation(), r.total.alf,
+                        static_cast<double>(r.data_channel.bits_sent) / 1e6);
+        }
+    }
+    std::printf(
+        "\nexpected shape: within every redundancy row, the spread variant has\n"
+        "lower CLF at (essentially) the same ALF and bandwidth — spreading\n"
+        "composes with any of them rather than competing.\n");
+    return 0;
+}

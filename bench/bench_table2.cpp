@@ -1,0 +1,41 @@
+// Reproduces paper Table 2 (§4.4): IBO vs k-CPO ordering of 8 B frames.
+//
+// CMT prioritizes B frames in Inverse Binary Order; the paper replaces IBO
+// with the k-CPO order and argues IBO degrades once a burst exceeds half
+// the B frames while k-CPO holds the theorem bound.  We print both orders
+// and their exact worst-case CLF for every burst length.
+#include <cstdio>
+
+#include "core/burst.hpp"
+#include "core/cpo.hpp"
+#include "core/interleaver.hpp"
+
+int main() {
+    constexpr std::size_t kN = 8;
+
+    const espread::Permutation in_order = espread::Permutation::identity(kN);
+    const espread::Permutation ibo = espread::ibo_order(kN);
+    const espread::Permutation cpo_fixed = espread::residue_class_order(kN, 3);
+
+    std::printf("== Table 2: 8-frame orderings ==\n\n");
+    std::printf("In order : %s\n", in_order.to_string_one_based().c_str());
+    std::printf("IBO      : %s   (paper: 01 05 03 07 02 06 04 08)\n",
+                ibo.to_string_one_based().c_str());
+    std::printf("k-CPO    : %s   (paper: 01 04 07 02 05 08 03 06)\n\n",
+                cpo_fixed.to_string_one_based().c_str());
+
+    std::printf("worst-case CLF by burst length b (window n = %zu):\n\n", kN);
+    std::printf(" b | in-order | IBO | k-CPO(fixed) | calculatePermutation(8,b)\n");
+    std::printf("---+----------+-----+--------------+--------------------------\n");
+    for (std::size_t b = 1; b <= kN; ++b) {
+        const auto best = espread::calculate_permutation(kN, b);
+        std::printf("%2zu | %8zu | %3zu | %12zu | %10zu (stride %zu)\n", b,
+                    espread::worst_case_clf(in_order, b),
+                    espread::worst_case_clf(ibo, b),
+                    espread::worst_case_clf(cpo_fixed, b), best.clf, best.stride);
+    }
+    std::printf(
+        "\npaper's claim: IBO matches k-CPO while b <= half the frames, then\n"
+        "degrades in the pathological region; k-CPO stays at the bound.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+// Adaptive burst estimation (paper §4.2, Eq. 1): how the sender tracks a
+// changing network with exponential averaging and re-derives its
+// permutation window by window.
+//
+// Drives an ErrorSpreader through three network regimes (calm -> stormy ->
+// calm) and prints the estimate, the integer bound handed to
+// calculatePermutation, and the CLF guarantee of the resulting order.
+//
+// Build & run:  ./build/examples/adaptive_estimation
+#include <cstdio>
+
+#include "core/spreader.hpp"
+#include "net/gilbert.hpp"
+#include "sim/rng.hpp"
+
+using espread::ErrorSpreader;
+using espread::LossMask;
+using espread::max_transmission_burst;
+using espread::net::GilbertLoss;
+using espread::net::GilbertParams;
+
+namespace {
+
+/// One window of per-frame outcomes from the loss process.
+LossMask window_outcome(GilbertLoss& loss, std::size_t n) {
+    LossMask received(n, true);
+    for (std::size_t i = 0; i < n; ++i) received[i] = !loss.drop_next();
+    return received;
+}
+
+}  // namespace
+
+int main() {
+    constexpr std::size_t kWindow = 32;
+    ErrorSpreader spreader{kWindow};  // alpha = 1/2, initial estimate n/2
+
+    std::printf("=== Adaptive error spreading over a changing network ===\n\n");
+    std::printf("window | regime | observed burst | estimate | bound | CLF guarantee\n");
+    std::printf("-------+--------+----------------+----------+-------+--------------\n");
+
+    espread::sim::Rng rng{5};
+    const GilbertParams calm{0.98, 0.3};
+    const GilbertParams storm{0.85, 0.8};
+
+    std::size_t window_no = 0;
+    for (const auto& [name, params, windows] :
+         {std::tuple{"calm ", calm, 12}, std::tuple{"storm", storm, 12},
+          std::tuple{"calm ", calm, 12}}) {
+        GilbertLoss loss{params, rng.split(window_no + 1)};
+        for (int i = 0; i < windows; ++i, ++window_no) {
+            spreader.begin_window();
+            const LossMask received = window_outcome(loss, kWindow);
+            const std::size_t observed = max_transmission_burst(received);
+            std::printf("%6zu | %s  | %14zu | %8.2f | %5zu | %13zu\n", window_no,
+                        name, observed, spreader.estimator().estimate(),
+                        spreader.current_bound(), spreader.window_clf_guarantee());
+            spreader.on_feedback(observed);
+        }
+    }
+
+    std::printf(
+        "\nThe bound chases the observed bursts with a one-window lag and\n"
+        "half-weight smoothing: storms raise it (more aggressive spreading),\n"
+        "calm shrinks it back (gentler scrambling, lower client complexity).\n");
+    return 0;
+}

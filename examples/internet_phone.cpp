@@ -1,0 +1,78 @@
+// Internet phone: audio streaming under the 3-LDU perceptual threshold.
+//
+// The paper's motivating application: for audio, user studies put the
+// tolerable consecutive loss at ~3 LDUs (each LDU = 266 samples of 8 kHz
+// SunAudio, ~1/30 s).  This example (1) sizes the jitter window needed to
+// guarantee CLF <= threshold against a given burst (the latency/quality
+// tradeoff of window_for_clf), and (2) streams audio over increasingly
+// bursty links, checking how often the threshold is violated.
+//
+// Build & run:  ./build/examples/internet_phone
+#include <cstdio>
+
+#include "core/cpo.hpp"
+#include "media/ldu.hpp"
+#include "protocol/session.hpp"
+
+using espread::media::AudioLdu;
+using espread::media::kAudioClfThreshold;
+using espread::proto::run_session;
+using espread::proto::Scheme;
+using espread::proto::SessionConfig;
+using espread::proto::StreamKind;
+
+int main() {
+    std::printf("=== Internet phone: audio LDUs of %zu samples (%zu bits) ===\n\n",
+                AudioLdu::kSamplesPerLdu, AudioLdu::kBitsPerLdu);
+
+    // 1. How much buffering does a phone need?  Each extra LDU of window
+    //    costs ~33 ms of latency; interactive voice tolerates ~150-200 ms.
+    std::printf("window needed to guarantee CLF <= k against a burst of b LDUs\n");
+    std::printf("(each window LDU adds %.0f ms of end-to-end latency)\n\n",
+                1000.0 / AudioLdu::ldu_rate());
+    std::printf(" burst b | k=1        | k=2        | k=3 (threshold)\n");
+    std::printf("---------+------------+------------+----------------\n");
+    for (std::size_t b = 2; b <= 6; ++b) {
+        std::printf("%8zu |", b);
+        for (std::size_t k = 1; k <= 3; ++k) {
+            const std::size_t n = espread::window_for_clf(b, k);
+            std::printf(" %2zu (%3.0fms) |", n, n * 1000.0 / AudioLdu::ldu_rate());
+        }
+        std::printf("\n");
+    }
+
+    // 2. Stream a call over links of increasing burstiness.
+    std::printf("\n60 s call, window = 8 LDUs (~266 ms), varying burstiness:\n");
+    std::printf(" P_bad | scheme   | CLF mean | CLF max | windows over threshold\n");
+    std::printf("-------+----------+----------+---------+-----------------------\n");
+    for (const double pbad : {0.3, 0.5, 0.7}) {
+        for (const Scheme scheme : {Scheme::kInOrder, Scheme::kLayeredSpread}) {
+            SessionConfig cfg;
+            cfg.stream.kind = StreamKind::kAudio;
+            cfg.stream.ldus_per_window = 8;
+            cfg.stream.frame_rate = AudioLdu::ldu_rate();
+            cfg.scheme = scheme;
+            cfg.data_link.bandwidth_bps = 128e3;  // narrowband voice link
+            cfg.feedback_link.bandwidth_bps = 128e3;
+            cfg.packet_bits = AudioLdu::kBitsPerLdu;  // one LDU per packet
+            cfg.data_loss = {0.92, pbad};
+            cfg.feedback_loss = {0.92, pbad};
+            cfg.num_windows = 225;  // ~60 s of 266 ms windows
+            cfg.seed = 11;
+            const auto r = run_session(cfg);
+            std::size_t violations = 0;
+            for (const auto& w : r.windows) {
+                if (w.clf > kAudioClfThreshold) ++violations;
+            }
+            std::printf("  %.1f  | %-8s | %8.2f | %7.0f | %10zu / %zu\n", pbad,
+                        scheme == Scheme::kInOrder ? "in-order" : "spread",
+                        r.clf_stats().mean(), r.clf_stats().max(), violations,
+                        r.windows.size());
+        }
+    }
+
+    std::printf(
+        "\nSpreading buys headroom without extra bandwidth: the same calls\n"
+        "stay under the 3-LDU annoyance threshold far more often.\n");
+    return 0;
+}

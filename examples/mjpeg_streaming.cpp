@@ -1,0 +1,61 @@
+// MJPEG streaming: the dependency-free protocol (paper §4.2, final note).
+//
+// For streams without inter-frame dependency the protocol reduces to pure
+// windowed scrambling plus loss-rate estimation.  This example streams 60
+// seconds of 30 fps MJPEG over a bursty (Gilbert) link and compares the
+// per-window CLF of in-order vs error-spreading transmission.
+//
+// Build & run:  ./build/examples/mjpeg_streaming
+#include <cstdio>
+
+#include "protocol/session.hpp"
+
+using espread::proto::run_session;
+using espread::proto::Scheme;
+using espread::proto::SessionConfig;
+using espread::proto::SessionResult;
+using espread::proto::StreamKind;
+
+namespace {
+
+SessionConfig make_config(Scheme scheme) {
+    SessionConfig cfg;
+    cfg.stream.kind = StreamKind::kMjpeg;
+    cfg.stream.ldus_per_window = 30;      // 1 s windows at 30 fps
+    cfg.stream.frame_rate = 30.0;
+    cfg.stream.mjpeg_mean_bits = 30000.0; // ~0.9 Mb/s source
+    cfg.scheme = scheme;
+    cfg.data_loss = {0.92, 0.6};
+    cfg.feedback_loss = {0.92, 0.6};
+    cfg.num_windows = 60;
+    cfg.seed = 2026;
+    return cfg;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== MJPEG over a bursty link: 60 windows of 30 frames ===\n\n");
+
+    const SessionResult plain = run_session(make_config(Scheme::kInOrder));
+    const SessionResult spread = run_session(make_config(Scheme::kLayeredSpread));
+
+    std::printf("window | in-order CLF | spread CLF | spread bound\n");
+    std::printf("-------+--------------+------------+-------------\n");
+    for (std::size_t k = 0; k < 20; ++k) {  // first 20 windows in detail
+        std::printf("%6zu | %12zu | %10zu | %12zu\n", k, plain.windows[k].clf,
+                    spread.windows[k].clf, spread.windows[k].bound_used);
+    }
+
+    const auto ps = plain.clf_stats();
+    const auto ss = spread.clf_stats();
+    std::printf("\nover all %zu windows:\n", plain.windows.size());
+    std::printf("  in-order : CLF mean %.2f  dev %.2f  max %.0f  ALF %.3f\n",
+                ps.mean(), ps.deviation(), ps.max(), plain.total.alf);
+    std::printf("  spread   : CLF mean %.2f  dev %.2f  max %.0f  ALF %.3f\n",
+                ss.mean(), ss.deviation(), ss.max(), spread.total.alf);
+    std::printf(
+        "\nAggregate loss is essentially unchanged (no extra bandwidth spent);\n"
+        "consecutive loss drops because bursts land on scattered frames.\n");
+    return 0;
+}

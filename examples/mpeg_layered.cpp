@@ -1,0 +1,68 @@
+// MPEG with inter-frame dependency: the Layered Permutation Transmission
+// Order of paper §3.2 / Fig. 3, end to end.
+//
+// Shows (1) the dependency poset and its antichain layering for a 2-GOP
+// buffer, (2) the wire order the planner produces, and (3) a full session
+// comparing the four transmission schemes on the same network.
+//
+// Build & run:  ./build/examples/mpeg_layered
+#include <cstdio>
+
+#include "media/mpeg.hpp"
+#include "poset/layered.hpp"
+#include "protocol/session.hpp"
+
+using espread::media::GopPattern;
+using espread::proto::run_session;
+using espread::proto::Scheme;
+using espread::proto::scheme_name;
+using espread::proto::SessionConfig;
+
+int main() {
+    const GopPattern pattern = GopPattern::standard(12);
+    constexpr std::size_t kGops = 2;
+
+    std::printf("=== MPEG layered transmission (W = %zu GOPs of %s) ===\n\n",
+                kGops, pattern.to_string().c_str());
+
+    // 1. Dependency structure -> layers.
+    const auto poset = espread::media::build_dependency_poset(pattern, kGops);
+    const auto plan = espread::poset::build_layered_plan(poset, /*bound=*/4);
+    std::printf("longest dependency chain: %zu  =>  %zu layers\n",
+                poset.longest_chain_length(), plan.layer_count());
+    for (std::size_t l = 0; l < plan.layers.size(); ++l) {
+        const auto& layer = plan.layers[l];
+        std::printf("  layer %zu (%s, |L|=%2zu, b=%zu, CLF<=%zu): ", l,
+                    layer.critical ? "critical    " : "non-critical",
+                    layer.members.size(), layer.bound, layer.clf_guarantee);
+        for (const auto f : layer.transmission()) std::printf("%02zu ", f + 1);
+        std::printf("\n");
+    }
+
+    // 2. Stream Jurassic Park under every scheme on an identical network.
+    std::printf("\nstreaming 100 windows of Jurassic Park, Gilbert(0.92, 0.6):\n");
+    std::printf("%-14s | CLF mean | CLF dev | CLF max | ALF   | undecodable\n",
+                "scheme");
+    std::printf("---------------+----------+---------+---------+-------+------------\n");
+    for (const Scheme scheme :
+         {Scheme::kInOrder, Scheme::kLayeredNoScramble, Scheme::kLayeredIbo,
+          Scheme::kLayeredSpread}) {
+        SessionConfig cfg;  // paper defaults: W=2, 1.2 Mb/s, RTT 23 ms
+        cfg.scheme = scheme;
+        cfg.num_windows = 100;
+        cfg.seed = 7;
+        const auto r = run_session(cfg);
+        const auto s = r.clf_stats();
+        std::size_t undec = 0;
+        for (const auto& w : r.windows) undec += w.undecodable;
+        std::printf("%-14s | %8.2f | %7.2f | %7.0f | %.3f | %11zu\n",
+                    scheme_name(scheme), s.mean(), s.deviation(), s.max(),
+                    r.total.alf, undec);
+    }
+
+    std::printf(
+        "\nAnchors go first (and get retransmitted), so whole-GOP losses are\n"
+        "rare; scrambling the B layer then converts the remaining bursts\n"
+        "into isolated single-frame glitches.\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+// Quickstart: the error-spreading core in five minutes.
+//
+// Reproduces the paper's Table 1 scenario: a 17-frame window, one network
+// burst of 7 consecutive packets.  Sending in order turns the burst into 7
+// consecutively lost frames (awful to watch); sending in the k-CPO order
+// spreads the same 7 losses so that no two lost frames are adjacent.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/burst.hpp"
+#include "core/cpo.hpp"
+#include "core/metrics.hpp"
+#include "core/permutation.hpp"
+
+int main() {
+    constexpr std::size_t kWindow = 17;  // sender buffer (frames)
+    constexpr std::size_t kBurst = 7;    // worst network burst within it
+
+    std::printf("=== espread quickstart: %zu-frame window, burst of %zu ===\n\n",
+                kWindow, kBurst);
+
+    // 1. The naive order loses 7 consecutive frames.
+    const espread::Permutation in_order = espread::Permutation::identity(kWindow);
+    std::printf("in-order transmission : %s\n", in_order.to_string_one_based().c_str());
+    std::printf("  worst-case CLF      : %zu (the whole burst lands together)\n\n",
+                espread::worst_case_clf(in_order, kBurst));
+
+    // 2. calculatePermutation(n, b) finds the optimal scrambling.
+    const espread::CpoResult cpo = espread::calculate_permutation(kWindow, kBurst);
+    std::printf("k-CPO transmission    : %s\n", cpo.perm.to_string_one_based().c_str());
+    std::printf("  worst-case CLF      : %zu (guaranteed, any burst <= %zu)\n",
+                cpo.clf, kBurst);
+    std::printf("  packing lower bound : %zu\n\n",
+                espread::lower_bound_clf(kWindow, kBurst));
+
+    // 3. Watch one concrete burst hit both orders.
+    const std::size_t start = 5;  // burst covers transmission slots 5..11
+    const auto show = [&](const char* name, const espread::Permutation& perm) {
+        const espread::LossMask playback = espread::burst_loss_mask(perm, start, kBurst);
+        std::printf("%s, burst on slots %zu..%zu -> playback: ", name, start,
+                    start + kBurst - 1);
+        for (const bool ok : playback) std::printf("%c", ok ? '.' : 'X');
+        const auto r = espread::measure_continuity(playback);
+        std::printf("   CLF=%zu ALF=%.2f\n", r.clf, r.alf);
+    };
+    show("in-order", in_order);
+    show("k-CPO   ", cpo.perm);
+
+    std::printf(
+        "\nSame number of losses, same bandwidth - but the scrambled stream\n"
+        "never loses two adjacent frames, which is what viewers notice.\n");
+    return 0;
+}

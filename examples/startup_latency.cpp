@@ -1,0 +1,64 @@
+// Start-up latency vs playback quality: how much client buffering does the
+// protocol actually need?
+//
+// The paper buffers W GOPs before starting playback (one buffer-window of
+// start-up delay, §4.1/§5.2).  This example shaves the start-up delay and
+// watches frames begin to miss their slots — the playout-judged CLF/ALF
+// climb even though delivery is unchanged — and prints the measured
+// minimum delay (required_startup) per network condition, separating the
+// two costs of a burst: lost frames and late frames.
+//
+// Build & run:  ./build/examples/startup_latency
+#include <cstdio>
+
+#include "protocol/session.hpp"
+
+using espread::proto::run_session;
+using espread::proto::SessionConfig;
+using espread::proto::SessionResult;
+
+int main() {
+    std::printf("=== start-up delay vs playout quality (Jurassic Park, W = 2) ===\n\n");
+
+    std::printf("startup (windows) | delivered ALF | playout ALF | playout CLF mean\n");
+    std::printf("------------------+---------------+-------------+-----------------\n");
+    for (const double startup : {1.0, 0.5, 0.2, 0.1, 0.05}) {
+        SessionConfig cfg;
+        cfg.num_windows = 60;
+        cfg.seed = 21;
+        cfg.playout_startup_windows = startup;
+        const SessionResult r = run_session(cfg);
+        std::printf("        %5.2f     |     %.3f     |    %.3f    | %.2f\n",
+                    startup, r.total.alf, r.playout_total.alf,
+                    r.playout_clf_stats().mean());
+    }
+
+    std::printf("\nmeasured minimum start-up delay by network condition:\n");
+    std::printf(" P_bad | RTT    | required startup (s)\n");
+    std::printf("-------+--------+---------------------\n");
+    for (const double pbad : {0.0, 0.6, 0.7}) {
+        for (const double rtt_ms : {23.0, 200.0}) {
+            SessionConfig cfg;
+            cfg.num_windows = 60;
+            cfg.seed = 21;
+            if (pbad == 0.0) {
+                cfg.data_loss = {1.0, 0.0};
+                cfg.feedback_loss = {1.0, 0.0};
+            } else {
+                cfg.data_loss = {0.92, pbad};
+                cfg.feedback_loss = {0.92, pbad};
+            }
+            cfg.data_link.propagation_delay = espread::sim::from_millis(rtt_ms / 2);
+            cfg.feedback_link.propagation_delay = cfg.data_link.propagation_delay;
+            const SessionResult r = run_session(cfg);
+            std::printf("  %.1f  | %3.0f ms | %.3f\n", pbad, rtt_ms,
+                        espread::sim::to_seconds(r.required_startup));
+        }
+    }
+
+    std::printf(
+        "\nRetransmissions of anchor frames arrive near the window deadline,\n"
+        "so lossier networks need start-up delays close to one full window —\n"
+        "which is exactly what the paper provisions.\n");
+    return 0;
+}

@@ -1,0 +1,119 @@
+#include "analysis/markov.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace espread::analysis {
+
+namespace {
+
+/// Drop probability while the chain sits in the given state.
+double emission(const net::GilbertParams& p, bool bad) {
+    return bad ? p.loss_bad : p.loss_good;
+}
+
+}  // namespace
+
+std::vector<double> clf_distribution_in_order(const net::GilbertParams& params,
+                                              std::size_t n,
+                                              double initial_p_good) {
+    const auto valid = [](double p) { return p >= 0.0 && p <= 1.0; };
+    if (!valid(params.p_good) || !valid(params.p_bad) ||
+        !valid(params.loss_good) || !valid(params.loss_bad) ||
+        !valid(initial_p_good)) {
+        throw std::invalid_argument("clf_distribution: probabilities in [0,1]");
+    }
+    // prob[s][c][m]: chain in state s (0 good, 1 bad), current loss run c,
+    // max run so far m.  Packets experience the current state, then the
+    // chain transitions (matching GilbertLoss::drop_next()).
+    const std::size_t width = n + 1;
+    const auto idx = [width](std::size_t c, std::size_t m) {
+        return c * width + m;
+    };
+    std::vector<double> prob[2] = {std::vector<double>(width * width, 0.0),
+                                   std::vector<double>(width * width, 0.0)};
+    std::vector<double> next[2] = {std::vector<double>(width * width, 0.0),
+                                   std::vector<double>(width * width, 0.0)};
+    prob[0][idx(0, 0)] = initial_p_good;
+    prob[1][idx(0, 0)] = 1.0 - initial_p_good;
+
+    for (std::size_t packet = 0; packet < n; ++packet) {
+        next[0].assign(width * width, 0.0);
+        next[1].assign(width * width, 0.0);
+        for (int s = 0; s < 2; ++s) {
+            const double h = emission(params, s == 1);
+            const double stay = s == 0 ? params.p_good : params.p_bad;
+            for (std::size_t c = 0; c <= packet; ++c) {
+                for (std::size_t m = c; m <= packet; ++m) {
+                    const double p = prob[s][idx(c, m)];
+                    if (p == 0.0) continue;
+                    // outcome: lost with prob h
+                    const struct {
+                        double weight;
+                        std::size_t c2;
+                        std::size_t m2;
+                    } outcomes[2] = {
+                        {p * h, c + 1, std::max(m, c + 1)},
+                        {p * (1.0 - h), 0, m},
+                    };
+                    for (const auto& o : outcomes) {
+                        if (o.weight == 0.0) continue;
+                        next[s][idx(o.c2, o.m2)] += o.weight * stay;
+                        next[1 - s][idx(o.c2, o.m2)] += o.weight * (1.0 - stay);
+                    }
+                }
+            }
+        }
+        prob[0].swap(next[0]);
+        prob[1].swap(next[1]);
+    }
+
+    std::vector<double> dist(n + 1, 0.0);
+    for (int s = 0; s < 2; ++s) {
+        for (std::size_t c = 0; c <= n; ++c) {
+            for (std::size_t m = c; m <= n; ++m) {
+                dist[m] += prob[s][idx(c, m)];
+            }
+        }
+    }
+    return dist;
+}
+
+double expected_clf_in_order(const net::GilbertParams& params, std::size_t n,
+                             double initial_p_good) {
+    const auto dist = clf_distribution_in_order(params, n, initial_p_good);
+    double mean = 0.0;
+    for (std::size_t m = 0; m < dist.size(); ++m) {
+        mean += static_cast<double>(m) * dist[m];
+    }
+    return mean;
+}
+
+double stationary_p_good(const net::GilbertParams& params) {
+    const double to_bad = 1.0 - params.p_good;
+    const double to_good = 1.0 - params.p_bad;
+    if (to_bad + to_good == 0.0) return 1.0;  // both absorbing; starts GOOD
+    return to_good / (to_bad + to_good);
+}
+
+double loss_probability_at(const net::GilbertParams& params, std::size_t index,
+                           double initial_p_good) {
+    double p_good = initial_p_good;
+    for (std::size_t k = 0; k < index; ++k) {
+        p_good = p_good * params.p_good + (1.0 - p_good) * (1.0 - params.p_bad);
+    }
+    return p_good * params.loss_good + (1.0 - p_good) * params.loss_bad;
+}
+
+double expected_losses_in_order(const net::GilbertParams& params, std::size_t n,
+                                double initial_p_good) {
+    double p_good = initial_p_good;
+    double total = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        total += p_good * params.loss_good + (1.0 - p_good) * params.loss_bad;
+        p_good = p_good * params.p_good + (1.0 - p_good) * (1.0 - params.p_bad);
+    }
+    return total;
+}
+
+}  // namespace espread::analysis

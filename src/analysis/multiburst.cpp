@@ -1,0 +1,79 @@
+#include "analysis/multiburst.hpp"
+
+#include <algorithm>
+
+#include "core/burst.hpp"
+
+namespace espread::analysis {
+
+std::size_t worst_case_clf_two_bursts(const Permutation& perm, std::size_t b) {
+    const std::size_t n = perm.size();
+    if (n == 0 || b == 0) return 0;
+    const std::size_t len = std::min(b, n);
+
+    // Single burst is a special case (second burst empty).
+    std::size_t worst = espread::worst_case_clf(perm, b);
+
+    // For every first-burst position, overlay every disjoint second burst.
+    // Bursts of exactly `len` dominate shorter ones at the same positions.
+    for (std::size_t s1 = 0; s1 + len <= n; ++s1) {
+        LossMask base = espread::burst_loss_mask(perm, s1, len);
+        for (std::size_t s2 = s1 + len; s2 + len <= n; ++s2) {
+            LossMask mask = base;
+            for (std::size_t slot = s2; slot < s2 + len; ++slot) {
+                mask[perm[slot]] = false;
+            }
+            worst = std::max(worst, espread::consecutive_loss(mask));
+            if (worst == n) return worst;
+        }
+    }
+    return worst;
+}
+
+std::vector<std::size_t> adjacency_exposure(const Permutation& perm) {
+    const std::size_t n = perm.size();
+    std::vector<std::size_t> exposure(n, 0);
+    if (n < 2) return exposure;
+    const Permutation inv = perm.inverse();
+    for (std::size_t x = 0; x + 1 < n; ++x) {
+        const std::size_t a = inv[x];
+        const std::size_t b = inv[x + 1];
+        const std::size_t d = a > b ? a - b : b - a;
+        ++exposure[d];
+    }
+    return exposure;
+}
+
+std::size_t min_adjacent_distance(const Permutation& perm) {
+    const auto exposure = adjacency_exposure(perm);
+    for (std::size_t d = 0; d < exposure.size(); ++d) {
+        if (exposure[d] > 0) return d;
+    }
+    return perm.size();  // no adjacent pairs at all (n < 2)
+}
+
+GilbertClfResult gilbert_clf(const Permutation& perm,
+                             const net::GilbertParams& params,
+                             std::size_t trials, sim::Rng rng) {
+    const std::size_t n = perm.size();
+    GilbertClfResult result;
+    if (n == 0 || trials == 0) return result;
+
+    net::GilbertLoss chain{params, rng.split(1)};
+    std::size_t lost_total = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+        LossMask playback(n, true);
+        for (std::size_t slot = 0; slot < n; ++slot) {
+            if (chain.drop_next()) {
+                playback[perm[slot]] = false;
+                ++lost_total;
+            }
+        }
+        result.clf.add(static_cast<double>(espread::consecutive_loss(playback)));
+    }
+    result.alf = static_cast<double>(lost_total) /
+                 static_cast<double>(n * trials);
+    return result;
+}
+
+}  // namespace espread::analysis

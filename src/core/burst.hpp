@@ -1,0 +1,46 @@
+// Burst analysis: exact worst-case CLF of a permutation (paper §2.2).
+//
+// The network model of the Bursty Error Reduction Problem: within a window
+// of n transmitted LDUs, the channel drops at most one run of at most b
+// consecutive *transmissions*.  These functions translate such a burst back
+// into playback order through a permutation and measure the resulting CLF,
+// including the exact worst case over all burst positions — the quantity
+// Theorem 1 bounds and calculatePermutation() minimizes.
+#pragma once
+
+#include <cstddef>
+
+#include "core/metrics.hpp"
+#include "core/permutation.hpp"
+
+namespace espread {
+
+/// Playback-order delivery mask after a burst hits transmission slots
+/// [start, start+length).  The burst is clipped to the window.
+LossMask burst_loss_mask(const Permutation& perm, std::size_t start, std::size_t length);
+
+/// CLF (in playback order) caused by the single burst [start, start+length).
+std::size_t burst_clf(const Permutation& perm, std::size_t start, std::size_t length);
+
+/// Exact worst-case CLF over every possible burst of length at most
+/// `max_burst` within the window.  Because a longer burst's losses are a
+/// superset of any shorter burst at the same start, only bursts of length
+/// exactly min(max_burst, n) need to be examined.  O(n * b) time.
+std::size_t worst_case_clf(const Permutation& perm, std::size_t max_burst);
+
+/// As worst_case_clf, but also allows the burst to straddle the boundary
+/// between two consecutive windows that both use `perm` (a suffix of one
+/// window plus a prefix of the next).  Runs never join across the window
+/// boundary (windows are played out and measured independently), but a
+/// straddling burst hits fewer slots of each window.  Consequently this is
+/// never larger than worst_case_clf; it is provided for the protocol-level
+/// analysis where bursts are not aligned to windows.
+std::size_t worst_case_clf_straddling(const Permutation& perm, std::size_t max_burst);
+
+/// Packing lower bound on the CLF any transmission order can guarantee
+/// against one burst of length b in a window of n (paper Theorem 1 regime
+/// structure): any b-element subset of n playback slots has a run of at
+/// least ceil(b / (n - b + 1)).  Returns 0 for b == 0 and n for b >= n.
+std::size_t lower_bound_clf(std::size_t n, std::size_t b);
+
+}  // namespace espread

@@ -1,0 +1,68 @@
+// calculatePermutation — the paper's k-Cyclic Permutation Order generator
+// (paper §2.3 and appendix; Theorem 1).
+//
+// Given a sender buffer of n LDUs and an upper bound b on the size of a
+// bursty loss within that window, produce the transmission order from the
+// cyclic/residue-stride family that minimizes the exact worst-case CLF.
+// The returned CLF is computed exactly (core/burst.hpp), so the generator
+// is self-verifying: the guarantee it reports is the guarantee it delivers.
+//
+// Regime structure reproduced from Theorem 1 (statement reconstructed from
+// the OCR; validated against exhaustive search in the test suite):
+//   * CLF == 1   whenever b*b <= n  (stride b keeps lost LDUs >= b apart),
+//   * CLF == n   when b >= n        (the whole window can be lost),
+//   * in between, CLF grows roughly like ceil(b / floor(n/b)).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/permutation.hpp"
+
+namespace espread {
+
+/// How a CpoResult's permutation was constructed.
+enum class CpoKind {
+    kIdentity,      ///< in-order transmission (only when it is already optimal)
+    kCyclicStride,  ///< cyclic AP: slot i -> (i * stride) mod n (gcd(stride,n)==1)
+    kResidueClass,  ///< residue classes 0..stride-1 concatenated
+};
+
+/// Output of calculate_permutation: the order plus its proven guarantee.
+struct CpoResult {
+    Permutation perm;   ///< transmission order (slot -> playback index)
+    std::size_t clf;    ///< exact worst-case CLF under any burst <= b
+    std::size_t stride; ///< stride parameter of the winning construction
+    CpoKind kind;       ///< which construction family won
+};
+
+/// The paper's calculatePermutation(n, b): best transmission order for a
+/// window of n LDUs under a bursty-loss bound of b.
+///
+/// For n <= `exhaustive_stride_limit` every stride in [2, n-1] of both
+/// construction families is evaluated exactly; above the limit a curated
+/// candidate set (strides near b, sqrt(n) and the divisors of the
+/// class-count) is used — protocol windows (<= a few hundred frames) always
+/// take the exhaustive path.  b == 0 or n <= 1 returns the identity.
+/// b is clamped to n.
+CpoResult calculate_permutation(std::size_t n, std::size_t b,
+                                std::size_t exhaustive_stride_limit = 256);
+
+/// CLF guaranteed by calculate_permutation(n, b) — the achievable bound of
+/// Theorem 1 for the cyclic-permutation family.
+std::size_t cpo_clf(std::size_t n, std::size_t b);
+
+/// Smallest window size n >= max(b, 1) whose k-CPO guarantees CLF <= k
+/// against bursts of size b — the paper's buffer-requirement/user-quality
+/// tradeoff ("given the user's maximum acceptable CLF k, how much sender
+/// buffer is needed?").  Searches upward from n = b; `max_n` bounds the
+/// search and 0 is returned if no window up to max_n suffices (only
+/// possible when k == 0 and b > 0).
+std::size_t window_for_clf(std::size_t b, std::size_t k, std::size_t max_n = 1 << 14);
+
+/// The stride candidates calculate_permutation would evaluate for (n, b).
+/// Exposed for benchmarks/tests that want to inspect the search space.
+std::vector<std::size_t> cpo_candidate_strides(std::size_t n, std::size_t b,
+                                               std::size_t exhaustive_stride_limit = 256);
+
+}  // namespace espread

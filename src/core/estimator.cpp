@@ -1,0 +1,68 @@
+#include "core/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace espread {
+
+std::size_t max_transmission_burst(const LossMask& received_in_tx_order) {
+    return consecutive_loss(received_in_tx_order);
+}
+
+BurstEstimator::BurstEstimator(std::size_t window, double alpha)
+    : window_(window),
+      alpha_(alpha),
+      estimate_(static_cast<double>(window) / 2.0) {
+    if (window == 0) throw std::invalid_argument("BurstEstimator: window must be positive");
+    if (alpha < 0.0 || alpha > 1.0) {
+        throw std::invalid_argument("BurstEstimator: alpha must be in [0, 1]");
+    }
+}
+
+void BurstEstimator::update(std::size_t observed_max_burst) noexcept {
+    const double obs =
+        static_cast<double>(std::min(observed_max_burst, window_));
+    estimate_ = alpha_ * obs + (1.0 - alpha_) * estimate_;
+    ++observations_;
+}
+
+SlidingMaxEstimator::SlidingMaxEstimator(std::size_t window, std::size_t history)
+    : window_(window), history_(history) {
+    if (window == 0) {
+        throw std::invalid_argument("SlidingMaxEstimator: window must be positive");
+    }
+    if (history == 0) {
+        throw std::invalid_argument("SlidingMaxEstimator: history must be positive");
+    }
+}
+
+void SlidingMaxEstimator::update(std::size_t observed_max_burst) {
+    const std::size_t obs = std::min(observed_max_burst, window_);
+    if (recent_.size() < history_) {
+        recent_.push_back(obs);
+    } else {
+        recent_[next_slot_] = obs;
+    }
+    next_slot_ = (next_slot_ + 1) % history_;
+    ++observations_;
+}
+
+std::size_t SlidingMaxEstimator::bound() const noexcept {
+    if (recent_.empty()) {
+        return std::clamp<std::size_t>(window_ / 2, 1, window_);
+    }
+    std::size_t best = 0;
+    for (const std::size_t v : recent_) best = std::max(best, v);
+    return std::clamp<std::size_t>(best, 1, window_);
+}
+
+std::size_t BurstEstimator::bound() const noexcept {
+    // Tolerate floating-point dust from repeated averaging (an estimate of
+    // 6 + 1e-11 must still round to 6, not 7).
+    const double ceiled = std::ceil(estimate_ - 1e-9);
+    const std::size_t b = ceiled <= 1.0 ? 1 : static_cast<std::size_t>(ceiled);
+    return std::clamp<std::size_t>(b, 1, window_);
+}
+
+}  // namespace espread

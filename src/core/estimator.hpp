@@ -1,0 +1,87 @@
+// Adaptive bursty-loss estimation (paper §4.2, Eq. 1).
+//
+// The client measures, per buffer window, the largest run of consecutive
+// losses in *transmission* order and reports it in its ACK.  The server
+// smooths these observations with an exponential average
+//
+//     b_hat[k+1] = alpha * observed[k] + (1 - alpha) * b_hat[k]
+//
+// with alpha = 1/2 ("we consider the current network loss and the average
+// past network loss to be equally important") and uses ceil(b_hat), clamped
+// to [1, window], as the b parameter of calculatePermutation for the next
+// window.  Before any feedback arrives the server assumes the average case
+// b = window / 2.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/metrics.hpp"
+
+namespace espread {
+
+/// Largest run of consecutive losses in a transmission-order delivery mask —
+/// the per-window observation the client feeds back to the server.
+std::size_t max_transmission_burst(const LossMask& received_in_tx_order);
+
+/// Exponential-average estimator of the bursty-loss bound b.
+class BurstEstimator {
+public:
+    /// `window` is the LDU window size n (bounds the estimate);
+    /// `alpha` is the exponential-averaging weight of the newest sample.
+    /// Throws std::invalid_argument for window == 0 or alpha outside [0, 1].
+    explicit BurstEstimator(std::size_t window, double alpha = 0.5);
+
+    /// Incorporates one per-window observation of the max transmission
+    /// burst.  Values larger than the window are clamped.
+    void update(std::size_t observed_max_burst) noexcept;
+
+    /// Smoothed estimate (real-valued).
+    double estimate() const noexcept { return estimate_; }
+
+    /// Integer bound handed to calculatePermutation: ceil(estimate),
+    /// clamped to [1, window].
+    std::size_t bound() const noexcept;
+
+    std::size_t window() const noexcept { return window_; }
+    double alpha() const noexcept { return alpha_; }
+    std::size_t observations() const noexcept { return observations_; }
+
+private:
+    std::size_t window_;
+    double alpha_;
+    double estimate_;
+    std::size_t observations_ = 0;
+};
+
+/// Alternative to Eq. 1's exponential average: remember the last
+/// `history` observations and bound by their maximum.  More conservative
+/// than the EWMA — one big burst keeps the bound high for `history`
+/// windows instead of decaying geometrically — at the cost of scrambling
+/// more aggressively than needed on calm networks.  Compared against the
+/// paper's estimator in bench_ablation.
+class SlidingMaxEstimator {
+public:
+    /// Throws std::invalid_argument for window == 0 or history == 0.
+    SlidingMaxEstimator(std::size_t window, std::size_t history = 4);
+
+    /// Incorporates one per-window observation (clamped to the window).
+    void update(std::size_t observed_max_burst);
+
+    /// Max of the retained observations; window/2 before any observation;
+    /// clamped to [1, window].
+    std::size_t bound() const noexcept;
+
+    std::size_t window() const noexcept { return window_; }
+    std::size_t history() const noexcept { return history_; }
+    std::size_t observations() const noexcept { return observations_; }
+
+private:
+    std::size_t window_;
+    std::size_t history_;
+    std::vector<std::size_t> recent_;  // ring buffer of size <= history
+    std::size_t next_slot_ = 0;
+    std::size_t observations_ = 0;
+};
+
+}  // namespace espread

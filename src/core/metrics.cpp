@@ -1,0 +1,61 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+namespace espread {
+
+std::vector<std::size_t> loss_runs(const LossMask& delivered) {
+    std::vector<std::size_t> runs;
+    std::size_t current = 0;
+    for (const bool ok : delivered) {
+        if (!ok) {
+            ++current;
+        } else if (current > 0) {
+            runs.push_back(current);
+            current = 0;
+        }
+    }
+    if (current > 0) runs.push_back(current);
+    return runs;
+}
+
+std::size_t consecutive_loss(const LossMask& delivered) {
+    std::size_t best = 0;
+    std::size_t current = 0;
+    for (const bool ok : delivered) {
+        if (!ok) {
+            best = std::max(best, ++current);
+        } else {
+            current = 0;
+        }
+    }
+    return best;
+}
+
+std::size_t aggregate_loss_count(const LossMask& delivered) {
+    return static_cast<std::size_t>(
+        std::count(delivered.begin(), delivered.end(), false));
+}
+
+ContinuityReport measure_continuity(const LossMask& delivered) {
+    ContinuityReport r;
+    r.slots = delivered.size();
+    r.unit_losses = aggregate_loss_count(delivered);
+    r.clf = consecutive_loss(delivered);
+    r.alf = r.slots == 0 ? 0.0
+                         : static_cast<double>(r.unit_losses) / static_cast<double>(r.slots);
+    return r;
+}
+
+void ContinuityMeter::add_window(const LossMask& delivered) {
+    const ContinuityReport w = measure_continuity(delivered);
+    clf_series_.add(static_cast<double>(clf_series_.size()), static_cast<double>(w.clf));
+    total_.slots += w.slots;
+    total_.unit_losses += w.unit_losses;
+    total_.clf = std::max(total_.clf, w.clf);
+    total_.alf = total_.slots == 0
+                     ? 0.0
+                     : static_cast<double>(total_.unit_losses) / static_cast<double>(total_.slots);
+}
+
+}  // namespace espread

@@ -1,0 +1,70 @@
+// Content-based continuity QoS metrics (paper §2.1, Fig. 1).
+//
+// A CM stream is a sequence of LDU playback slots; each slot either shows
+// its ideal LDU (delivered) or suffers a unit loss (the LDU was lost, or a
+// previous LDU had to be repeated).  Two metrics measure the deviation from
+// the ideal stream:
+//   * ALF — aggregate loss factor: fraction of slots with a unit loss;
+//   * CLF — consecutive loss factor: the largest run of consecutive unit
+//     losses.  Perceptual studies put the tolerable CLF at 2 frames for
+//     video and 3 for audio; CLF is the quantity error spreading minimizes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace espread {
+
+/// Per-slot delivery outcome in playback order: true = the ideal LDU played
+/// in its slot, false = unit loss.
+using LossMask = std::vector<bool>;
+
+/// Summary of one window (or one whole stream) of playback slots.
+struct ContinuityReport {
+    std::size_t slots = 0;       ///< total playback slots considered
+    std::size_t unit_losses = 0; ///< number of slots with a unit loss
+    std::size_t clf = 0;         ///< longest run of consecutive unit losses
+    double alf = 0.0;            ///< unit_losses / slots (0 when slots == 0)
+};
+
+/// Lengths of each maximal run of consecutive losses, in order.
+/// E.g. delivered-lost-lost-delivered-lost -> {2, 1}.
+std::vector<std::size_t> loss_runs(const LossMask& delivered);
+
+/// Longest run of consecutive losses (the CLF of the mask).
+std::size_t consecutive_loss(const LossMask& delivered);
+
+/// Number of unit losses in the mask.
+std::size_t aggregate_loss_count(const LossMask& delivered);
+
+/// Full continuity report for one mask.
+ContinuityReport measure_continuity(const LossMask& delivered);
+
+/// Accumulates continuity over a sequence of buffer windows, tracking the
+/// per-window CLF series the paper plots in Figure 8 plus its mean /
+/// deviation rows.  Window boundaries do NOT merge loss runs: each window is
+/// measured independently, matching the paper's per-buffer-window CLF.
+class ContinuityMeter {
+public:
+    /// Records one buffer window worth of playback outcomes.
+    void add_window(const LossMask& delivered);
+
+    std::size_t windows() const noexcept { return clf_series_.size(); }
+
+    /// Per-window CLF values in arrival order.
+    const sim::TimeSeries& clf_series() const noexcept { return clf_series_; }
+
+    /// Mean / deviation of per-window CLF (the paper's "Mean 1.46, Dev 0.56").
+    sim::RunningStats clf_stats() const { return clf_series_.y_stats(); }
+
+    /// Continuity aggregated over all slots of all windows.
+    ContinuityReport total() const noexcept { return total_; }
+
+private:
+    sim::TimeSeries clf_series_;
+    ContinuityReport total_;
+};
+
+}  // namespace espread

@@ -1,0 +1,110 @@
+#include "core/optimal.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/burst.hpp"
+
+namespace espread {
+
+namespace {
+
+/// DFS state for the decision search.
+struct Search {
+    std::size_t n;
+    std::size_t b;
+    std::size_t target;
+    std::vector<std::size_t> prefix;  // slots assigned so far
+    std::vector<bool> used;           // playback indices consumed
+    std::vector<std::size_t>* witness;  // filled with a solution if non-null
+
+    /// Longest playback-order run among the trailing min(b, assigned) slots.
+    /// When exactly b slots are trailing this is the CLF of a complete burst
+    /// window; for shorter prefixes it is a lower bound on every burst that
+    /// will cover them (losses only grow), so > target prunes soundly.
+    std::size_t trailing_run() const {
+        const std::size_t assigned = prefix.size();
+        const std::size_t take = std::min(b, assigned);
+        std::vector<bool> lost(n, false);
+        for (std::size_t i = assigned - take; i < assigned; ++i) lost[prefix[i]] = true;
+        std::size_t best = 0;
+        std::size_t cur = 0;
+        for (std::size_t v = 0; v < n; ++v) {
+            if (lost[v]) {
+                best = std::max(best, ++cur);
+            } else {
+                cur = 0;
+            }
+        }
+        return best;
+    }
+
+    bool dfs() {
+        if (prefix.size() == n) {
+            if (witness != nullptr) *witness = prefix;
+            return true;
+        }
+        for (std::size_t v = 0; v < n; ++v) {
+            if (used[v]) continue;
+            used[v] = true;
+            prefix.push_back(v);
+            const bool ok = trailing_run() <= target && dfs();
+            prefix.pop_back();
+            used[v] = false;
+            if (ok) return true;
+        }
+        return false;
+    }
+};
+
+/// Largest window the exponential search accepts; beyond it a negative
+/// answer could take hours, so refuse loudly instead of hanging.
+constexpr std::size_t kMaxSearchWindow = 14;
+
+bool solve(std::size_t n, std::size_t b, std::size_t target,
+           std::vector<std::size_t>* witness) {
+    if (n > kMaxSearchWindow) {
+        throw std::invalid_argument(
+            "optimal search: window too large for exhaustive search (max 14)");
+    }
+    if (n == 0) return true;
+    b = std::min(b, n);
+    if (b == 0 || target >= b) {
+        if (witness != nullptr) {
+            witness->resize(n);
+            for (std::size_t i = 0; i < n; ++i) (*witness)[i] = i;
+        }
+        return true;  // no burst can exceed its own length
+    }
+    Search s{n, b, target, {}, std::vector<bool>(n, false), witness};
+    s.prefix.reserve(n);
+    return s.dfs();
+}
+
+}  // namespace
+
+bool clf_achievable(std::size_t n, std::size_t b, std::size_t target) {
+    return solve(n, b, target, nullptr);
+}
+
+std::size_t optimal_clf(std::size_t n, std::size_t b) {
+    if (n == 0 || b == 0) return 0;
+    b = std::min(b, n);
+    for (std::size_t t = lower_bound_clf(n, b); t < b; ++t) {
+        if (solve(n, b, t, nullptr)) return t;
+    }
+    return b;  // the burst itself bounds the CLF
+}
+
+OptimalResult optimal_permutation(std::size_t n, std::size_t b) {
+    if (n == 0) return OptimalResult{Permutation{std::vector<std::size_t>{}}, 0};
+    const std::size_t t = optimal_clf(n, b);
+    std::vector<std::size_t> image;
+    if (!solve(n, std::min(b, n), t, &image)) {
+        throw std::logic_error("optimal_permutation: decision/search mismatch");
+    }
+    return OptimalResult{Permutation{std::move(image)}, t};
+}
+
+}  // namespace espread

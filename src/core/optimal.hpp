@@ -1,0 +1,39 @@
+// Exact optimal permutations by branch-and-bound (ground truth for small n).
+//
+// Theorem 1's achievable bound concerns the cyclic-permutation family; this
+// module computes the true optimum over ALL permutations, which the test
+// suite uses to validate the k-CPO construction.  It also demonstrates the
+// simultaneity gap: a single order must spread every burst position at
+// once, so the optimum can exceed the per-burst packing bound
+// (e.g. n = 5, b = 4: packing bound 2, true optimum 3).
+//
+// Exponential-time search: all three entry points throw
+// std::invalid_argument for n > 14 rather than run for hours.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/permutation.hpp"
+
+namespace espread {
+
+/// An optimal transmission order and its exact worst-case CLF.
+struct OptimalResult {
+    Permutation perm;
+    std::size_t clf;
+};
+
+/// True whether some permutation of n keeps worst-case CLF <= target under
+/// every burst of length <= b.  Branch-and-bound over prefixes; prunes any
+/// prefix whose trailing <= b slots already contain a playback run > target.
+bool clf_achievable(std::size_t n, std::size_t b, std::size_t target);
+
+/// Minimum achievable worst-case CLF over all permutations of n against
+/// bursts of length <= b.
+std::size_t optimal_clf(std::size_t n, std::size_t b);
+
+/// An optimal permutation witnessing optimal_clf(n, b).
+OptimalResult optimal_permutation(std::size_t n, std::size_t b);
+
+}  // namespace espread

@@ -1,0 +1,96 @@
+// Permutations over a transmission window.
+//
+// A Permutation describes the order in which a window of n LDUs (frames) is
+// put on the wire: slot s of the transmission carries the LDU whose playback
+// index is perm[s].  The receiver applies the inverse to restore playback
+// order.  This is the object the paper's calculatePermutation(n, b)
+// algorithm produces (its "k-Cyclic Permutation Order").
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace espread {
+
+/// A bijection on {0, 1, ..., n-1}, stored as the image sequence.
+///
+/// Convention used throughout the library:
+///   `at(slot) == original` — transmission slot `slot` carries the LDU with
+///   playback (original) index `original`.
+///
+/// Class invariant: the stored sequence is a permutation of 0..n-1
+/// (validated at construction; constructors throw std::invalid_argument on
+/// malformed input).
+class Permutation {
+public:
+    /// Empty permutation (size 0); useful as a default before assignment.
+    Permutation() = default;
+
+    /// Identity permutation of size n (in-order transmission).
+    static Permutation identity(std::size_t n);
+
+    /// Builds from an explicit image sequence; throws if not a bijection.
+    explicit Permutation(std::vector<std::size_t> image);
+    Permutation(std::initializer_list<std::size_t> image);
+
+    std::size_t size() const noexcept { return image_.size(); }
+
+    /// Playback index carried in transmission slot `slot`.
+    std::size_t at(std::size_t slot) const {
+        if (slot >= image_.size()) throw std::out_of_range("Permutation::at");
+        return image_[slot];
+    }
+    std::size_t operator[](std::size_t slot) const noexcept { return image_[slot]; }
+
+    const std::vector<std::size_t>& image() const noexcept { return image_; }
+
+    /// Inverse permutation: inverse()[original] == slot.
+    Permutation inverse() const;
+
+    /// Composition: (this ∘ other)[i] == this[other[i]].  Sizes must match.
+    Permutation compose(const Permutation& other) const;
+
+    bool is_identity() const noexcept;
+
+    bool operator==(const Permutation& rhs) const noexcept = default;
+
+    /// Reorders `items` (playback order) into transmission order:
+    /// result[slot] = items[perm[slot]].
+    template <typename T>
+    std::vector<T> apply(const std::vector<T>& items) const {
+        require_size(items.size());
+        std::vector<T> out;
+        out.reserve(items.size());
+        for (std::size_t slot = 0; slot < image_.size(); ++slot) {
+            out.push_back(items[image_[slot]]);
+        }
+        return out;
+    }
+
+    /// Restores playback order from transmission order:
+    /// result[perm[slot]] = items[slot].  Inverse of apply().
+    template <typename T>
+    std::vector<T> unapply(const std::vector<T>& items) const {
+        require_size(items.size());
+        std::vector<T> out(items.size());
+        for (std::size_t slot = 0; slot < image_.size(); ++slot) {
+            out[image_[slot]] = items[slot];
+        }
+        return out;
+    }
+
+    /// Human-readable 1-based rendering, e.g. "01 06 11 16 ..." as printed
+    /// in the paper's Table 1.
+    std::string to_string_one_based() const;
+
+private:
+    void validate() const;
+    void require_size(std::size_t n) const;
+
+    std::vector<std::size_t> image_;
+};
+
+}  // namespace espread

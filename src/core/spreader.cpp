@@ -1,0 +1,44 @@
+#include "core/spreader.hpp"
+
+#include <stdexcept>
+
+namespace espread {
+
+ErrorSpreader::ErrorSpreader(std::size_t window, double alpha)
+    : estimator_(window, alpha),
+      current_(nullptr),
+      identity_(Permutation::identity(window)) {
+    current_ = &identity_;
+}
+
+const CpoResult& ErrorSpreader::cached(std::size_t bound) {
+    const auto it = cache_.find(bound);
+    if (it != cache_.end()) return it->second;
+    return cache_.emplace(bound, calculate_permutation(window(), bound)).first->second;
+}
+
+const Permutation& ErrorSpreader::begin_window() {
+    const std::size_t bound = pinned_bound_ != 0 ? pinned_bound_ : estimator_.bound();
+    const CpoResult& r = cached(bound);
+    current_ = &r.perm;
+    current_clf_ = r.clf;
+    return *current_;
+}
+
+LossMask ErrorSpreader::unspread(const LossMask& received_tx_order) const {
+    if (received_tx_order.size() != window()) {
+        throw std::invalid_argument("ErrorSpreader::unspread: mask size != window");
+    }
+    const Permutation& perm = *current_;
+    LossMask playback(window(), true);
+    for (std::size_t slot = 0; slot < window(); ++slot) {
+        playback[perm[slot]] = received_tx_order[slot];
+    }
+    return playback;
+}
+
+void ErrorSpreader::pin_bound(std::size_t b) noexcept {
+    pinned_bound_ = b > window() ? window() : b;
+}
+
+}  // namespace espread

@@ -1,0 +1,82 @@
+// Windowed error-spreading codec for dependency-free streams (paper §4.2,
+// "Note: For streams which have no dependency (like MJPEG), the above
+// protocol simplifies to just a scrambling of frames and estimating loss
+// rate for the whole window").
+//
+// The ErrorSpreader pairs a BurstEstimator with calculatePermutation: at
+// the start of each buffer window the sender locks in a permutation derived
+// from the current loss estimate; feedback (which may arrive one or more
+// windows late) only influences later windows, exactly as in the paper's
+// protocol timeline (Fig. 6).
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "core/cpo.hpp"
+#include "core/estimator.hpp"
+#include "core/metrics.hpp"
+#include "core/permutation.hpp"
+
+namespace espread {
+
+/// Sender/receiver-side windowed permutation codec with adaptive burst bound.
+///
+/// Both endpoints construct an ErrorSpreader with the same window size and
+/// alpha; the receiver mirrors the sender's permutation sequence as long as
+/// it applies the same feedback in the same window order (the protocol layer
+/// guarantees this by echoing the bound in the window header — see
+/// src/protocol).
+class ErrorSpreader {
+public:
+    /// Throws std::invalid_argument for window == 0 or alpha outside [0, 1].
+    explicit ErrorSpreader(std::size_t window, double alpha = 0.5);
+
+    std::size_t window() const noexcept { return estimator_.window(); }
+
+    /// Burst bound that the *next* begin_window() will permute against.
+    std::size_t current_bound() const noexcept { return estimator_.bound(); }
+
+    /// Locks the permutation for the next buffer window (computed from the
+    /// current estimate) and returns it.  Permutations are cached per bound,
+    /// so repeated windows with a stable estimate are O(1).
+    const Permutation& begin_window();
+
+    /// Permutation of the window currently in flight (last begin_window()).
+    /// Identity until the first begin_window().
+    const Permutation& window_permutation() const noexcept { return *current_; }
+
+    /// Guaranteed worst-case CLF of the current window's permutation under
+    /// the bound it was built for.
+    std::size_t window_clf_guarantee() const noexcept { return current_clf_; }
+
+    /// Receiver side: converts a delivery mask in transmission order into a
+    /// playback-order mask using the current window's permutation.
+    /// Throws std::invalid_argument on size mismatch.
+    LossMask unspread(const LossMask& received_tx_order) const;
+
+    /// Applies one window's feedback (max burst observed in transmission
+    /// order) to the estimator; affects permutations of later windows only.
+    void on_feedback(std::size_t observed_max_burst) noexcept {
+        estimator_.update(observed_max_burst);
+    }
+
+    /// Forces the bound used for subsequent windows (used by the receiver to
+    /// mirror a sender-announced bound, and by ablation benchmarks to freeze
+    /// adaptation).  Pass through begin_window() afterwards as usual.
+    void pin_bound(std::size_t b) noexcept;
+
+    const BurstEstimator& estimator() const noexcept { return estimator_; }
+
+private:
+    const CpoResult& cached(std::size_t bound);
+
+    BurstEstimator estimator_;
+    std::map<std::size_t, CpoResult> cache_;  // bound -> permutation
+    const Permutation* current_;              // points into cache_ or identity_
+    std::size_t current_clf_ = 0;
+    Permutation identity_;
+    std::size_t pinned_bound_ = 0;  // 0 = adaptive
+};
+
+}  // namespace espread

@@ -1,0 +1,15 @@
+#include "media/ldu.hpp"
+
+namespace espread::media {
+
+char frame_type_char(FrameType t) noexcept {
+    switch (t) {
+        case FrameType::kI: return 'I';
+        case FrameType::kP: return 'P';
+        case FrameType::kB: return 'B';
+        case FrameType::kIndependent: return 'J';
+    }
+    return '?';
+}
+
+}  // namespace espread::media

@@ -1,0 +1,122 @@
+// Simulated unreliable datagram channel (paper §4.2 protocol setting).
+//
+// The paper's protocol runs over UDP: no retransmission below the
+// application, packets serialized onto a fixed-bandwidth link with fixed
+// propagation delay, and per-packet loss drawn from the Gilbert model.
+// Channel<Msg> is unidirectional; a bidirectional session composes two
+// channels (data and feedback) over one EventQueue.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "net/gilbert.hpp"
+#include "sim/event_queue.hpp"
+
+namespace espread::net {
+
+/// Physical link parameters.
+struct LinkConfig {
+    double bandwidth_bps = 1.2e6;          ///< paper default 1.2 Mb/s
+    sim::SimTime propagation_delay = sim::from_millis(11.5);  ///< half of 23 ms RTT
+};
+
+/// Delivery accounting.
+struct ChannelStats {
+    std::size_t sent = 0;
+    std::size_t delivered = 0;
+    std::size_t dropped = 0;
+    std::size_t bits_sent = 0;
+};
+
+/// Unidirectional lossy FIFO link carrying messages of type Msg.
+///
+/// Serialization: a message of s bits occupies the link for s / bandwidth
+/// seconds; messages queue behind one another (drop-tail routers in the
+/// paper's motivation — we model the loss with the Gilbert chain rather
+/// than an explicit queue, as the paper's own simulation does).  Delivery
+/// happens propagation_delay after serialization completes.  Loss is
+/// decided per packet by the Gilbert chain, in send order.
+template <typename Msg>
+class Channel {
+public:
+    using Receiver = std::function<void(Msg)>;
+
+    /// Throws std::invalid_argument for non-positive bandwidth or negative
+    /// propagation delay.
+    Channel(sim::EventQueue& queue, LinkConfig link, GilbertParams loss,
+            sim::Rng rng)
+        : queue_(queue), link_(link), loss_(loss, std::move(rng)) {
+        if (link_.bandwidth_bps <= 0.0) {
+            throw std::invalid_argument("Channel: bandwidth must be positive");
+        }
+        if (link_.propagation_delay < 0) {
+            throw std::invalid_argument("Channel: negative propagation delay");
+        }
+    }
+
+    /// Registers the delivery callback (invoked at simulated arrival time).
+    void set_receiver(Receiver r) { receiver_ = std::move(r); }
+
+    /// Enqueues one message of `size_bits` onto the link.  Returns true if
+    /// the message survived the loss process (it will be delivered after
+    /// serialization + propagation).  The return value is the simulation
+    /// harness's oracle for NACK-driven retransmission and FEC recovery;
+    /// protocol endpoints must not base per-packet decisions on it ahead of
+    /// the time a real NACK could have arrived.
+    bool send(Msg msg, std::size_t size_bits) {
+        const sim::SimTime tx_time = sim::from_seconds(
+            static_cast<double>(size_bits) / link_.bandwidth_bps);
+        const sim::SimTime depart = std::max(queue_.now(), link_free_);
+        link_free_ = depart + tx_time;
+        ++stats_.sent;
+        stats_.bits_sent += size_bits;
+        if (loss_.drop_next()) {
+            ++stats_.dropped;
+            return false;
+        }
+        const sim::SimTime arrival = link_free_ + link_.propagation_delay;
+        // EventQueue callbacks are std::function (copyable); box the payload
+        // so move-only message types work.
+        auto boxed = std::make_shared<Msg>(std::move(msg));
+        queue_.schedule_at(arrival, [this, boxed] {
+            ++stats_.delivered;
+            if (receiver_) receiver_(std::move(*boxed));
+        });
+        return true;
+    }
+
+    /// Earliest time a new message could start serializing.
+    sim::SimTime next_free_time() const noexcept {
+        return std::max(queue_.now(), link_free_);
+    }
+
+    /// Keeps the link idle until `t` (the sender deliberately waits, e.g.
+    /// for a NACK before retransmitting).  No effect if t is in the past.
+    void stall_until(sim::SimTime t) noexcept {
+        link_free_ = std::max(link_free_, t);
+    }
+
+    /// Time the link needs to serialize `size_bits`.
+    sim::SimTime serialization_time(std::size_t size_bits) const noexcept {
+        return sim::from_seconds(static_cast<double>(size_bits) /
+                                 link_.bandwidth_bps);
+    }
+
+    const ChannelStats& stats() const noexcept { return stats_; }
+    const LinkConfig& link() const noexcept { return link_; }
+    GilbertLoss& loss_model() noexcept { return loss_; }
+
+private:
+    sim::EventQueue& queue_;
+    LinkConfig link_;
+    GilbertLoss loss_;
+    Receiver receiver_;
+    sim::SimTime link_free_ = 0;
+    ChannelStats stats_;
+};
+
+}  // namespace espread::net

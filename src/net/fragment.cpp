@@ -1,0 +1,30 @@
+#include "net/fragment.hpp"
+
+#include <stdexcept>
+
+namespace espread::net {
+
+std::size_t packet_count(std::size_t frame_bits, std::size_t mtu_bits) {
+    if (mtu_bits == 0) throw std::invalid_argument("packet_count: mtu must be positive");
+    if (frame_bits == 0) return 1;
+    return (frame_bits + mtu_bits - 1) / mtu_bits;
+}
+
+std::vector<std::size_t> fragment_sizes(std::size_t frame_bits, std::size_t mtu_bits) {
+    const std::size_t count = packet_count(frame_bits, mtu_bits);
+    std::vector<std::size_t> sizes;
+    sizes.reserve(count);
+    if (frame_bits == 0) {
+        sizes.push_back(1);
+        return sizes;
+    }
+    std::size_t remaining = frame_bits;
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t take = remaining < mtu_bits ? remaining : mtu_bits;
+        sizes.push_back(take);
+        remaining -= take;
+    }
+    return sizes;
+}
+
+}  // namespace espread::net

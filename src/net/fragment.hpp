@@ -1,0 +1,28 @@
+// Frame packetization (paper §5.1: "Frames are broken up into packets of
+// size 2 Kbytes" — 16384 bits, the packetSize of Fig. 8).
+//
+// A frame of s bits becomes ceil(s / mtu) packets; the final packet carries
+// the remainder.  A frame is usable only if every one of its packets
+// arrives (no partial-frame decoding), which is how a burst of packet
+// losses maps onto frame-level unit losses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace espread::net {
+
+/// Paper's packet size: 2 KB = 16384 bits.
+constexpr std::size_t kDefaultPacketBits = 16384;
+
+/// Number of packets needed for a frame of `frame_bits`.
+/// Zero-size frames still occupy one (header-only) packet.
+/// Throws std::invalid_argument when mtu_bits == 0.
+std::size_t packet_count(std::size_t frame_bits, std::size_t mtu_bits);
+
+/// Sizes (bits) of each packet of the frame, in order; the last packet
+/// holds the remainder.  sum(result) == max(frame_bits, 1)... precisely:
+/// sum == frame_bits except that a zero-size frame yields one 1-bit packet.
+std::vector<std::size_t> fragment_sizes(std::size_t frame_bits, std::size_t mtu_bits);
+
+}  // namespace espread::net

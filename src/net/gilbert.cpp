@@ -1,0 +1,51 @@
+#include "net/gilbert.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace espread::net {
+
+GilbertLoss::GilbertLoss(GilbertParams params, sim::Rng rng)
+    : params_(params), rng_(std::move(rng)) {
+    const auto valid = [](double p) { return p >= 0.0 && p <= 1.0; };
+    if (!valid(params_.p_good) || !valid(params_.p_bad) ||
+        !valid(params_.loss_good) || !valid(params_.loss_bad)) {
+        throw std::invalid_argument("GilbertLoss: probabilities must be in [0, 1]");
+    }
+}
+
+bool GilbertLoss::drop_next() noexcept {
+    // The packet experiences the current state, then the chain transitions.
+    // The degenerate emission probabilities (the classic Gilbert defaults)
+    // avoid an RNG draw so classic-model streams are unchanged by the
+    // Gilbert–Elliott extension.
+    const double h = state_ == State::kBad ? params_.loss_bad : params_.loss_good;
+    bool lost;
+    if (h <= 0.0) {
+        lost = false;
+    } else if (h >= 1.0) {
+        lost = true;
+    } else {
+        lost = rng_.bernoulli(h);
+    }
+    const double stay = state_ == State::kGood ? params_.p_good : params_.p_bad;
+    if (!rng_.bernoulli(stay)) {
+        state_ = state_ == State::kGood ? State::kBad : State::kGood;
+    }
+    return lost;
+}
+
+double GilbertLoss::stationary_loss(const GilbertParams& p) noexcept {
+    const double to_bad = 1.0 - p.p_good;
+    const double to_good = 1.0 - p.p_bad;
+    if (to_bad + to_good == 0.0) return p.loss_good;  // stays GOOD forever
+    const double pi_bad = to_bad / (to_bad + to_good);
+    return pi_bad * p.loss_bad + (1.0 - pi_bad) * p.loss_good;
+}
+
+double GilbertLoss::mean_burst_length(const GilbertParams& p) noexcept {
+    if (p.p_bad >= 1.0) return 0.0;  // never leaves BAD once entered
+    return 1.0 / (1.0 - p.p_bad);
+}
+
+}  // namespace espread::net

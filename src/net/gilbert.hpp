@@ -1,0 +1,62 @@
+// Two-state Markov (Gilbert) packet-loss model (paper §5.1, Fig. 7).
+//
+// The network alternates between a GOOD state (packets delivered) and a BAD
+// state (packets dropped).  From GOOD it stays with probability p_good;
+// from BAD it stays with probability p_bad.  Because p_bad is large in the
+// paper's experiments (0.6 / 0.7), losses arrive in bursts — exactly the
+// error pattern error spreading targets.  The chain starts in GOOD and
+// steps once per packet.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+
+namespace espread::net {
+
+/// Stay-probabilities of the two states, plus per-state drop probabilities.
+///
+/// The defaults (loss_good = 0, loss_bad = 1) give the paper's classic
+/// Gilbert model: GOOD always delivers, BAD always drops.  Setting them to
+/// intermediate values yields the Gilbert–Elliott generalization, where
+/// each state only biases the drop probability — useful for modelling
+/// residual loss on "good" paths and partial delivery inside congestion
+/// episodes.
+struct GilbertParams {
+    double p_good = 0.92;   ///< P(stay GOOD | GOOD); paper uses 0.92
+    double p_bad = 0.6;     ///< P(stay BAD | BAD); paper varies 0.6 / 0.7
+    double loss_good = 0.0; ///< P(drop | GOOD)
+    double loss_bad = 1.0;  ///< P(drop | BAD)
+};
+
+/// Per-packet loss process.
+class GilbertLoss {
+public:
+    enum class State { kGood, kBad };
+
+    /// Throws std::invalid_argument unless both probabilities are in [0, 1].
+    GilbertLoss(GilbertParams params, sim::Rng rng);
+
+    /// Steps the chain by one packet; returns true if that packet is lost
+    /// (i.e. the chain was in BAD while the packet crossed the link).
+    bool drop_next() noexcept;
+
+    State state() const noexcept { return state_; }
+    const GilbertParams& params() const noexcept { return params_; }
+
+    /// Long-run fraction of packets lost:
+    /// pi_bad * loss_bad + pi_good * loss_good, where
+    /// pi_bad = (1 - p_good) / ((1 - p_good) + (1 - p_bad)).
+    static double stationary_loss(const GilbertParams& p) noexcept;
+
+    /// Mean length of a loss burst for the CLASSIC emissions
+    /// (loss_good = 0, loss_bad = 1): 1 / (1 - p_bad).
+    static double mean_burst_length(const GilbertParams& p) noexcept;
+
+private:
+    GilbertParams params_;
+    sim::Rng rng_;
+    State state_ = State::kGood;
+};
+
+}  // namespace espread::net

@@ -1,0 +1,88 @@
+#include "poset/layered.hpp"
+
+#include <algorithm>
+
+namespace espread::poset {
+
+std::vector<Element> LayerPlan::transmission() const {
+    std::vector<Element> out;
+    out.reserve(members.size());
+    for (std::size_t slot = 0; slot < perm.size(); ++slot) {
+        out.push_back(members[perm[slot]]);
+    }
+    return out;
+}
+
+std::vector<Element> LayeredPlan::flattened() const {
+    std::vector<Element> out;
+    for (const LayerPlan& layer : layers) {
+        const std::vector<Element> tx = layer.transmission();
+        out.insert(out.end(), tx.begin(), tx.end());
+    }
+    return out;
+}
+
+std::size_t LayeredPlan::num_critical() const {
+    return static_cast<std::size_t>(
+        std::count_if(layers.begin(), layers.end(),
+                      [](const LayerPlan& l) { return l.critical; }));
+}
+
+std::vector<std::vector<Element>> layer_members(const Poset& poset) {
+    const std::size_t n = poset.size();
+    if (n == 0) return {};
+    // Height of each element, restricted to chains of anchors (a non-anchor
+    // never appears below another element, so anchor heights are unaffected
+    // by non-anchors).
+    std::vector<bool> anchor(n, false);
+    for (const Element a : poset.anchors()) anchor[a] = true;
+
+    std::vector<std::size_t> h(n, 0);
+    std::size_t max_anchor_h = 0;
+    bool any_anchor = false;
+    for (const Element e : poset.linear_extension()) {
+        for (const Element p : poset.direct_prerequisites(e)) {
+            h[e] = std::max(h[e], h[p] + 1);
+        }
+        if (anchor[e]) {
+            max_anchor_h = std::max(max_anchor_h, h[e]);
+            any_anchor = true;
+        }
+    }
+
+    std::vector<std::vector<Element>> layers(any_anchor ? max_anchor_h + 2 : 1);
+    for (Element x = 0; x < n; ++x) {
+        if (anchor[x]) {
+            layers[h[x]].push_back(x);
+        } else {
+            layers.back().push_back(x);
+        }
+    }
+    // Drop empty anchor layers (possible when anchors skip a height level).
+    std::erase_if(layers, [](const std::vector<Element>& l) { return l.empty(); });
+    return layers;
+}
+
+LayeredPlan build_layered_plan(const Poset& poset, std::size_t noncritical_bound) {
+    LayeredPlan plan;
+    std::vector<bool> anchor(poset.size(), false);
+    for (const Element a : poset.anchors()) anchor[a] = true;
+
+    for (const std::vector<Element>& members : layer_members(poset)) {
+        LayerPlan layer;
+        layer.members = members;
+        layer.critical =
+            !members.empty() && std::all_of(members.begin(), members.end(),
+                                            [&](Element e) { return anchor[e]; });
+        const std::size_t sz = members.size();
+        layer.bound = layer.critical ? (sz + 1) / 2
+                                     : std::min(noncritical_bound, sz);
+        const CpoResult r = calculate_permutation(sz, layer.bound);
+        layer.clf_guarantee = r.clf;
+        layer.perm = r.perm;
+        plan.layers.push_back(std::move(layer));
+    }
+    return plan;
+}
+
+}  // namespace espread::poset

@@ -1,0 +1,74 @@
+// Layered Permutation Transmission Order (paper §3.2–§3.3, Fig. 3).
+//
+// Given a buffer window whose inter-frame dependencies form a poset, the
+// permutable sets are exactly the antichains.  The window is decomposed
+// into layers (an antichain decomposition) transmitted critical-layers
+// first:
+//   * layer h (h = 0, 1, ...) holds the *anchor* frames of height h — for
+//     MPEG with W GOPs buffered these are the I frames, then the first P
+//     frames of each GOP, then the second P frames, etc.;
+//   * all non-anchor frames (MPEG B frames) form the final, non-critical
+//     layer(s).
+// Each layer is internally scrambled with calculatePermutation.  Critical
+// layers use a fixed bound (they are additionally protected by
+// retransmission/FEC at the protocol level); the non-critical layer uses
+// the adaptive bound learned from client feedback.
+//
+// The resulting flattened order is a linear extension of the poset — a
+// frame is never sent before the frames it depends on — so truncating the
+// tail (when retransmissions eat transmission slots) always drops the most
+// expendable frames first.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cpo.hpp"
+#include "core/permutation.hpp"
+#include "poset/poset.hpp"
+
+namespace espread::poset {
+
+/// One transmission layer of a buffer window.
+struct LayerPlan {
+    std::vector<Element> members;  ///< playback indices, ascending
+    Permutation perm;              ///< within-layer scrambling (size == members.size())
+    std::size_t clf_guarantee = 0; ///< exact worst-case CLF of `perm` under its bound
+    std::size_t bound = 0;         ///< burst bound the permutation was built for
+    bool critical = false;         ///< contains anchor frames
+
+    /// Members in transmission order: transmission()[i] = members[perm[i]].
+    std::vector<Element> transmission() const;
+};
+
+/// Complete layered plan for one buffer window.
+struct LayeredPlan {
+    std::vector<LayerPlan> layers;  ///< transmission order: layers[0] first
+
+    /// All playback indices in wire order.
+    std::vector<Element> flattened() const;
+
+    std::size_t num_critical() const;
+
+    /// Size of the antichain decomposition (paper's theta).
+    std::size_t layer_count() const { return layers.size(); }
+};
+
+/// The layering alone (no permutations): anchors grouped by height,
+/// non-anchors last.  Every returned set is an antichain; prerequisites of
+/// any frame lie in a strictly earlier set; the number of sets equals the
+/// poset's longest chain length (a minimal antichain decomposition).
+std::vector<std::vector<Element>> layer_members(const Poset& poset);
+
+/// Builds the full layered permutation transmission order.
+///
+/// `noncritical_bound` is the adaptive burst bound b (from the estimator)
+/// used for non-critical layers.  Critical layers use the fixed bound
+/// ceil(|layer| / 2) — the "average case" the server assumes when no
+/// feedback applies (the paper keeps critical-layer permutations fixed so
+/// that retransmission scheduling stays deterministic; the exact constant
+/// is reconstructed from the OCR-garbled text).  Bounds are clamped to the
+/// layer size.
+LayeredPlan build_layered_plan(const Poset& poset, std::size_t noncritical_bound);
+
+}  // namespace espread::poset

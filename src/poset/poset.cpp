@@ -1,0 +1,246 @@
+#include "poset/poset.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace espread::poset {
+
+Poset::Poset(std::size_t n) : n_(n), prereqs_(n) {}
+
+void Poset::check_element(Element x) const {
+    if (x >= n_) throw std::out_of_range("Poset: element out of range");
+}
+
+void Poset::add_dependency(Element dependent, Element prerequisite) {
+    check_element(dependent);
+    check_element(prerequisite);
+    if (dependent == prerequisite) {
+        throw std::invalid_argument("Poset: self-dependency");
+    }
+    auto& v = prereqs_[dependent];
+    const auto it = std::lower_bound(v.begin(), v.end(), prerequisite);
+    if (it == v.end() || *it != prerequisite) v.insert(it, prerequisite);
+    closure_valid_ = false;
+}
+
+void Poset::ensure_closure() const {
+    if (closure_valid_) return;
+    closure_.assign(n_, std::vector<bool>(n_, false));
+    // Topological propagation; also detects cycles.
+    std::vector<std::size_t> outstanding(n_, 0);  // unprocessed prerequisites
+    std::vector<std::vector<Element>> dependents(n_);
+    for (Element x = 0; x < n_; ++x) {
+        outstanding[x] = prereqs_[x].size();
+        for (const Element p : prereqs_[x]) dependents[p].push_back(x);
+    }
+    std::queue<Element> ready;
+    for (Element x = 0; x < n_; ++x) {
+        if (outstanding[x] == 0) ready.push(x);
+    }
+    std::size_t processed = 0;
+    while (!ready.empty()) {
+        const Element p = ready.front();
+        ready.pop();
+        ++processed;
+        for (const Element x : dependents[p]) {
+            closure_[x][p] = true;
+            for (Element y = 0; y < n_; ++y) {
+                if (closure_[p][y]) closure_[x][y] = true;
+            }
+            if (--outstanding[x] == 0) ready.push(x);
+        }
+    }
+    if (processed != n_) {
+        throw std::invalid_argument("Poset: dependency cycle");
+    }
+    closure_valid_ = true;
+}
+
+bool Poset::depends_on(Element x, Element y) const {
+    check_element(x);
+    check_element(y);
+    ensure_closure();
+    return closure_[x][y];
+}
+
+bool Poset::comparable(Element x, Element y) const {
+    return leq(x, y) || leq(y, x);
+}
+
+bool Poset::covers(Element y, Element x) const {
+    if (!depends_on(y, x)) return false;
+    for (Element z = 0; z < n_; ++z) {
+        if (z != x && z != y && depends_on(y, z) && depends_on(z, x)) return false;
+    }
+    return true;
+}
+
+bool Poset::is_anchor(Element x) const {
+    check_element(x);
+    ensure_closure();
+    for (Element y = 0; y < n_; ++y) {
+        if (y != x && closure_[y][x]) return true;
+    }
+    return false;
+}
+
+std::vector<Element> Poset::anchors() const {
+    std::vector<Element> out;
+    for (Element x = 0; x < n_; ++x) {
+        if (is_anchor(x)) out.push_back(x);
+    }
+    return out;
+}
+
+std::vector<Element> Poset::non_anchors() const {
+    std::vector<Element> out;
+    for (Element x = 0; x < n_; ++x) {
+        if (!is_anchor(x)) out.push_back(x);
+    }
+    return out;
+}
+
+std::vector<Element> Poset::minimal_elements() const {
+    ensure_closure();
+    std::vector<Element> out;
+    for (Element x = 0; x < n_; ++x) {
+        if (prereqs_[x].empty()) out.push_back(x);
+    }
+    return out;
+}
+
+const std::vector<Element>& Poset::direct_prerequisites(Element x) const {
+    check_element(x);
+    return prereqs_[x];
+}
+
+bool Poset::is_antichain(const std::vector<Element>& set) const {
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        for (std::size_t j = i + 1; j < set.size(); ++j) {
+            if (set[i] == set[j] || comparable(set[i], set[j])) return false;
+        }
+    }
+    return true;
+}
+
+bool Poset::is_chain(const std::vector<Element>& chain) const {
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+        for (std::size_t j = i + 1; j < chain.size(); ++j) {
+            if (!comparable(chain[i], chain[j])) return false;
+        }
+    }
+    return true;
+}
+
+std::size_t Poset::height(Element x) const {
+    check_element(x);
+    ensure_closure();
+    // height = 1 + max height among direct prerequisites; memoized per call
+    // chain via the closure (prerequisite heights computed first is
+    // guaranteed because the closure build already proved acyclicity).
+    std::vector<std::size_t> h(n_, 0);
+    std::vector<Element> order = linear_extension();
+    for (const Element e : order) {
+        for (const Element p : prereqs_[e]) h[e] = std::max(h[e], h[p] + 1);
+    }
+    return h[x];
+}
+
+std::vector<std::vector<Element>> Poset::antichain_decomposition() const {
+    ensure_closure();
+    std::vector<std::size_t> h(n_, 0);
+    std::size_t max_h = 0;
+    for (const Element e : linear_extension()) {
+        for (const Element p : prereqs_[e]) h[e] = std::max(h[e], h[p] + 1);
+        max_h = std::max(max_h, h[e]);
+    }
+    std::vector<std::vector<Element>> layers(n_ == 0 ? 0 : max_h + 1);
+    for (Element x = 0; x < n_; ++x) layers[h[x]].push_back(x);
+    return layers;
+}
+
+std::size_t Poset::longest_chain_length() const {
+    if (n_ == 0) return 0;
+    return antichain_decomposition().size();
+}
+
+std::vector<Element> Poset::longest_chain() const {
+    if (n_ == 0) return {};
+    ensure_closure();
+    std::vector<std::size_t> h(n_, 0);
+    std::vector<Element> best_pred(n_, n_);
+    Element top = 0;
+    for (const Element e : linear_extension()) {
+        for (const Element p : prereqs_[e]) {
+            if (h[p] + 1 > h[e]) {
+                h[e] = h[p] + 1;
+                best_pred[e] = p;
+            }
+        }
+        if (h[e] > h[top]) top = e;
+    }
+    std::vector<Element> chain;
+    for (Element e = top;; e = best_pred[e]) {
+        chain.push_back(e);
+        if (best_pred[e] == n_) break;
+    }
+    std::reverse(chain.begin(), chain.end());
+    return chain;
+}
+
+bool Poset::is_ranked() const {
+    ensure_closure();
+    std::vector<std::size_t> h(n_, 0);
+    for (const Element e : linear_extension()) {
+        for (const Element p : prereqs_[e]) h[e] = std::max(h[e], h[p] + 1);
+    }
+    for (Element y = 0; y < n_; ++y) {
+        for (Element x = 0; x < n_; ++x) {
+            if (y != x && covers(y, x) && h[y] != h[x] + 1) return false;
+        }
+    }
+    return true;
+}
+
+std::vector<Element> Poset::linear_extension() const {
+    ensure_closure();  // guarantees acyclicity
+    std::vector<std::size_t> outstanding(n_, 0);
+    std::vector<std::vector<Element>> dependents(n_);
+    for (Element x = 0; x < n_; ++x) {
+        outstanding[x] = prereqs_[x].size();
+        for (const Element p : prereqs_[x]) dependents[p].push_back(x);
+    }
+    std::priority_queue<Element, std::vector<Element>, std::greater<>> ready;
+    for (Element x = 0; x < n_; ++x) {
+        if (outstanding[x] == 0) ready.push(x);
+    }
+    std::vector<Element> order;
+    order.reserve(n_);
+    while (!ready.empty()) {
+        const Element p = ready.top();
+        ready.pop();
+        order.push_back(p);
+        for (const Element x : dependents[p]) {
+            if (--outstanding[x] == 0) ready.push(x);
+        }
+    }
+    return order;
+}
+
+bool Poset::is_linear_extension(const std::vector<Element>& order) const {
+    if (order.size() != n_) return false;
+    std::vector<std::size_t> position(n_, n_);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        if (order[i] >= n_ || position[order[i]] != n_) return false;
+        position[order[i]] = i;
+    }
+    for (Element x = 0; x < n_; ++x) {
+        for (const Element p : prereqs_[x]) {
+            if (position[p] > position[x]) return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace espread::poset

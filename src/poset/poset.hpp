@@ -1,0 +1,110 @@
+// Partially ordered sets modelling inter-frame dependency (paper §3.1).
+//
+// Elements are frame indices 0..n-1 of a buffer window.  The order relation
+// follows the paper: x ⊑ y iff frame x depends (directly or transitively)
+// on frame y — an MPEG B-frame is *below* the anchors it references.  A
+// frame that some other frame depends on is an *anchor* frame.  Antichains
+// are exactly the sets that may be freely permuted before transmission; the
+// minimal antichain decomposition (Mirsky: its size equals the longest
+// chain) yields the layers of the Layered Permutation Transmission Order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace espread::poset {
+
+using Element = std::size_t;
+
+/// Finite poset given by direct dependencies, with precomputed transitive
+/// closure.  Mutations (add_dependency) invalidate and lazily rebuild the
+/// closure.  Cycles are rejected at closure time (throws std::invalid_argument),
+/// since a dependency cycle cannot be decoded at all.
+class Poset {
+public:
+    /// Poset of n pairwise-incomparable elements (an antichain).
+    explicit Poset(std::size_t n);
+
+    std::size_t size() const noexcept { return n_; }
+
+    /// Declares that `dependent` directly depends on `prerequisite`
+    /// (dependent ⊏ prerequisite in the paper's orientation).
+    /// Self-dependencies throw std::invalid_argument.
+    void add_dependency(Element dependent, Element prerequisite);
+
+    /// x strictly below y: x transitively depends on y.
+    bool depends_on(Element x, Element y) const;
+
+    /// x ⊑ y: x == y or x depends on y.
+    bool leq(Element x, Element y) const { return x == y || depends_on(x, y); }
+
+    /// Comparable: x ⊑ y or y ⊑ x.
+    bool comparable(Element x, Element y) const;
+
+    /// y covers x: x ⊏ y with no element strictly between.
+    bool covers(Element y, Element x) const;
+
+    /// Anchor: some other element depends on it (paper §3.2).
+    bool is_anchor(Element x) const;
+    std::vector<Element> anchors() const;
+
+    /// Elements nothing depends on (maximal in "importance": the B frames).
+    std::vector<Element> non_anchors() const;
+
+    /// Minimal elements: depend on nothing (the I frames).
+    std::vector<Element> minimal_elements() const;
+
+    /// Direct prerequisites declared for x (deduplicated, sorted).
+    const std::vector<Element>& direct_prerequisites(Element x) const;
+
+    /// Every pair in `set` is incomparable.
+    bool is_antichain(const std::vector<Element>& set) const;
+
+    /// Every consecutive pair in `chain` is comparable (so, by transitivity,
+    /// all pairs are) — i.e. the sequence lies on one chain of the poset.
+    bool is_chain(const std::vector<Element>& chain) const;
+
+    /// Length (number of elements) of the longest chain.
+    std::size_t longest_chain_length() const;
+
+    /// A witness longest chain, listed from most-required (I frame end) to
+    /// most-dependent.
+    std::vector<Element> longest_chain() const;
+
+    /// Height of x: length of the longest chain of elements strictly above
+    /// x in dependency direction (its prerequisites).  Elements with no
+    /// prerequisites have height 0.
+    std::size_t height(Element x) const;
+
+    /// Minimal antichain decomposition by height: layer h holds all
+    /// elements of height h.  Prerequisites of any element always sit in an
+    /// earlier layer; the number of layers equals longest_chain_length().
+    std::vector<std::vector<Element>> antichain_decomposition() const;
+
+    /// Ranked in the strict order-theoretic sense: for every covering pair
+    /// y covers x (y depends on x), height(y) == height(x) + 1.  MPEG open
+    /// GOPs are NOT strictly ranked (a B frame covers anchors of differing
+    /// height); the layering above does not require rankedness.
+    bool is_ranked() const;
+
+    /// Deterministic linear extension listing prerequisites before
+    /// dependents (Kahn's algorithm, lowest index first among ready
+    /// elements) — a valid transmission order.
+    std::vector<Element> linear_extension() const;
+
+    /// Checks that `order` is a permutation of all elements in which every
+    /// element appears after all of its prerequisites.
+    bool is_linear_extension(const std::vector<Element>& order) const;
+
+private:
+    void ensure_closure() const;
+    void check_element(Element x) const;
+
+    std::size_t n_;
+    std::vector<std::vector<Element>> prereqs_;  // direct, sorted, deduped
+    mutable std::vector<std::vector<bool>> closure_;  // closure_[x][y]: x depends on y
+    mutable bool closure_valid_ = false;
+};
+
+}  // namespace espread::poset

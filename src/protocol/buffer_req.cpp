@@ -1,0 +1,21 @@
+#include "protocol/buffer_req.hpp"
+
+#include <stdexcept>
+
+namespace espread::proto {
+
+BufferRequirement buffer_requirement(const media::MovieStats& movie,
+                                     std::size_t gops) {
+    if (gops == 0) {
+        throw std::invalid_argument("buffer_requirement: gops must be >= 1");
+    }
+    BufferRequirement r;
+    r.frames = gops * movie.gop_size;
+    r.bits = gops * movie.max_gop_bits;
+    r.bytes = (r.bits + 7) / 8;
+    r.startup_delay_s =
+        static_cast<double>(r.frames) / movie.fps;
+    return r;
+}
+
+}  // namespace espread::proto

@@ -1,0 +1,28 @@
+// Buffer requirement calculation (paper §4.1).
+//
+// Server and client each hold a buffer of N = W GOPs of frames; sized by
+// the worst case, that is W * maxGOP bits (the paper works the example of
+// Star Wars: a 932 710-bit maximum GOP is ~113 KB, so even several GOPs of
+// buffering is "quite viable").  Buffering W GOPs also delays start-up by
+// W / (GOPs displayed per second).
+#pragma once
+
+#include <cstddef>
+
+#include "media/trace.hpp"
+
+namespace espread::proto {
+
+/// Sizing result for one movie and buffer depth.
+struct BufferRequirement {
+    std::size_t frames = 0;     ///< N: LDUs buffered (W * GOP size)
+    std::size_t bits = 0;       ///< worst-case buffer occupancy
+    std::size_t bytes = 0;      ///< same in bytes (rounded up)
+    double startup_delay_s = 0; ///< time to fill the client buffer
+};
+
+/// Computes the paper's buffer requirement for `gops` (W) buffered GOPs of
+/// the given movie.  Throws std::invalid_argument when gops == 0.
+BufferRequirement buffer_requirement(const media::MovieStats& movie, std::size_t gops);
+
+}  // namespace espread::proto

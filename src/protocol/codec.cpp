@@ -1,0 +1,206 @@
+#include "protocol/codec.hpp"
+
+namespace espread::proto {
+
+namespace {
+
+/// Big-endian fixed-width writers/readers.
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+    put_u32(out, static_cast<std::uint32_t>(v >> 32));
+    put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+/// Cursor-based reader that refuses to run past the end.
+class Reader {
+public:
+    explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+    bool u8(std::uint8_t& v) {
+        if (pos_ + 1 > bytes_.size()) return false;
+        v = bytes_[pos_++];
+        return true;
+    }
+    bool u32(std::uint32_t& v) {
+        if (pos_ + 4 > bytes_.size()) return false;
+        v = (static_cast<std::uint32_t>(bytes_[pos_]) << 24) |
+            (static_cast<std::uint32_t>(bytes_[pos_ + 1]) << 16) |
+            (static_cast<std::uint32_t>(bytes_[pos_ + 2]) << 8) |
+            static_cast<std::uint32_t>(bytes_[pos_ + 3]);
+        pos_ += 4;
+        return true;
+    }
+    bool u64(std::uint64_t& v) {
+        std::uint32_t hi = 0;
+        std::uint32_t lo = 0;
+        if (!u32(hi) || !u32(lo)) return false;
+        v = (static_cast<std::uint64_t>(hi) << 32) | lo;
+        return true;
+    }
+    bool exhausted() const { return pos_ == bytes_.size(); }
+
+private:
+    const std::vector<std::uint8_t>& bytes_;
+    std::size_t pos_ = 0;
+};
+
+constexpr std::uint8_t kFlagRetransmission = 1u << 0;
+constexpr std::uint8_t kFlagParity = 1u << 1;
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const DataPacket& p) {
+    std::vector<std::uint8_t> out;
+    out.reserve(data_packet_header_bytes());
+    put_u8(out, static_cast<std::uint8_t>(WireType::kData));
+    put_u32(out, static_cast<std::uint32_t>(p.seq));
+    put_u32(out, static_cast<std::uint32_t>(p.window));
+    put_u8(out, static_cast<std::uint8_t>(p.layer));
+    put_u32(out, static_cast<std::uint32_t>(p.tx_pos));
+    put_u32(out, static_cast<std::uint32_t>(p.frame_index));
+    put_u8(out, static_cast<std::uint8_t>(p.fragment));
+    put_u8(out, static_cast<std::uint8_t>(p.num_fragments));
+    put_u32(out, static_cast<std::uint32_t>(p.size_bits));
+    std::uint8_t flags = 0;
+    if (p.retransmission) flags |= kFlagRetransmission;
+    if (p.parity) flags |= kFlagParity;
+    put_u8(out, flags);
+    put_u32(out, static_cast<std::uint32_t>(p.fec_group));
+    return out;
+}
+
+std::size_t data_packet_header_bytes() noexcept {
+    // tag + seq + window + layer + tx_pos + frame + frag + nfrags + size +
+    // flags + fec_group.  seq and frame_index travel as 32-bit values —
+    // 4 G packets / frames per session is ample — keeping the header
+    // within the 256 bits the simulator budgets per packet.
+    return 1 + 4 + 4 + 1 + 4 + 4 + 1 + 1 + 4 + 1 + 4;
+}
+
+std::vector<std::uint8_t> encode(const WindowTrailer& t) {
+    std::vector<std::uint8_t> out;
+    put_u8(out, static_cast<std::uint8_t>(WireType::kTrailer));
+    put_u64(out, t.seq);
+    put_u32(out, static_cast<std::uint32_t>(t.window));
+    put_u8(out, static_cast<std::uint8_t>(t.layer_sent.size()));
+    for (const std::size_t sent : t.layer_sent) {
+        put_u32(out, static_cast<std::uint32_t>(sent));
+    }
+    return out;
+}
+
+std::vector<std::uint8_t> encode(const Feedback& f) {
+    std::vector<std::uint8_t> out;
+    put_u8(out, static_cast<std::uint8_t>(WireType::kFeedback));
+    put_u64(out, f.seq);
+    put_u32(out, static_cast<std::uint32_t>(f.window));
+    put_u8(out, static_cast<std::uint8_t>(f.layer_max_burst.size()));
+    for (std::size_t l = 0; l < f.layer_max_burst.size(); ++l) {
+        put_u32(out, static_cast<std::uint32_t>(f.layer_max_burst[l]));
+        put_u32(out, l < f.layer_lost.size()
+                         ? static_cast<std::uint32_t>(f.layer_lost[l])
+                         : 0u);
+    }
+    return out;
+}
+
+std::optional<WireType> peek_type(const std::vector<std::uint8_t>& bytes) {
+    if (bytes.empty()) return std::nullopt;
+    switch (bytes.front()) {
+        case static_cast<std::uint8_t>(WireType::kData): return WireType::kData;
+        case static_cast<std::uint8_t>(WireType::kTrailer): return WireType::kTrailer;
+        case static_cast<std::uint8_t>(WireType::kFeedback): return WireType::kFeedback;
+        default: return std::nullopt;
+    }
+}
+
+std::optional<DataPacket> decode_data(const std::vector<std::uint8_t>& bytes) {
+    if (peek_type(bytes) != WireType::kData) return std::nullopt;
+    Reader r{bytes};
+    std::uint8_t tag = 0;
+    std::uint8_t layer = 0;
+    std::uint8_t fragment = 0;
+    std::uint8_t num_fragments = 0;
+    std::uint8_t flags = 0;
+    std::uint32_t window = 0;
+    std::uint32_t tx_pos = 0;
+    std::uint32_t size_bits = 0;
+    std::uint32_t fec_group = 0;
+    std::uint32_t seq = 0;
+    std::uint32_t frame_index = 0;
+    DataPacket p;
+    if (!r.u8(tag) || !r.u32(seq) || !r.u32(window) || !r.u8(layer) ||
+        !r.u32(tx_pos) || !r.u32(frame_index) || !r.u8(fragment) ||
+        !r.u8(num_fragments) || !r.u32(size_bits) || !r.u8(flags) ||
+        !r.u32(fec_group) || !r.exhausted()) {
+        return std::nullopt;
+    }
+    if (num_fragments == 0 || fragment >= num_fragments) return std::nullopt;
+    p.seq = seq;
+    p.frame_index = frame_index;
+    p.window = window;
+    p.layer = layer;
+    p.tx_pos = tx_pos;
+    p.fragment = fragment;
+    p.num_fragments = num_fragments;
+    p.size_bits = size_bits;
+    p.retransmission = (flags & kFlagRetransmission) != 0;
+    p.parity = (flags & kFlagParity) != 0;
+    p.fec_group = fec_group;
+    return p;
+}
+
+std::optional<WindowTrailer> decode_trailer(const std::vector<std::uint8_t>& bytes) {
+    if (peek_type(bytes) != WireType::kTrailer) return std::nullopt;
+    Reader r{bytes};
+    std::uint8_t tag = 0;
+    std::uint8_t layers = 0;
+    std::uint32_t window = 0;
+    WindowTrailer t;
+    if (!r.u8(tag) || !r.u64(t.seq) || !r.u32(window) || !r.u8(layers)) {
+        return std::nullopt;
+    }
+    t.window = window;
+    t.layer_sent.resize(layers);
+    for (std::uint8_t l = 0; l < layers; ++l) {
+        std::uint32_t sent = 0;
+        if (!r.u32(sent)) return std::nullopt;
+        t.layer_sent[l] = sent;
+    }
+    if (!r.exhausted()) return std::nullopt;
+    return t;
+}
+
+std::optional<Feedback> decode_feedback(const std::vector<std::uint8_t>& bytes) {
+    if (peek_type(bytes) != WireType::kFeedback) return std::nullopt;
+    Reader r{bytes};
+    std::uint8_t tag = 0;
+    std::uint8_t layers = 0;
+    std::uint32_t window = 0;
+    Feedback f;
+    if (!r.u8(tag) || !r.u64(f.seq) || !r.u32(window) || !r.u8(layers)) {
+        return std::nullopt;
+    }
+    f.window = window;
+    f.layer_max_burst.resize(layers);
+    f.layer_lost.resize(layers);
+    for (std::uint8_t l = 0; l < layers; ++l) {
+        std::uint32_t burst = 0;
+        std::uint32_t lost = 0;
+        if (!r.u32(burst) || !r.u32(lost)) return std::nullopt;
+        f.layer_max_burst[l] = burst;
+        f.layer_lost[l] = lost;
+    }
+    if (!r.exhausted()) return std::nullopt;
+    return f;
+}
+
+}  // namespace espread::proto

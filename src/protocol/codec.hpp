@@ -1,0 +1,46 @@
+// Byte-level wire codec for the protocol records (DataPacket header,
+// WindowTrailer, Feedback).
+//
+// The simulator moves records as in-memory structs (payload bits are
+// accounted, not materialized), but a deployment needs real headers; this
+// codec defines them: fixed-width big-endian fields, a one-byte type tag,
+// and bounds-checked decoding that rejects truncated or corrupt input
+// instead of reading past the buffer.  kPacketHeaderBits in session.cpp
+// budgets 256 header bits per packet; encoded_size() of a DataPacket is
+// asserted (in tests) to fit that budget.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "protocol/wire.hpp"
+
+namespace espread::proto {
+
+/// Wire type tags (first byte of every record).
+enum class WireType : std::uint8_t {
+    kData = 1,
+    kTrailer = 2,
+    kFeedback = 3,
+};
+
+/// Serialized bytes of each record type.
+std::vector<std::uint8_t> encode(const DataPacket& p);
+std::vector<std::uint8_t> encode(const WindowTrailer& t);
+std::vector<std::uint8_t> encode(const Feedback& f);
+
+/// Peeks the type tag; nullopt on empty input or unknown tag.
+std::optional<WireType> peek_type(const std::vector<std::uint8_t>& bytes);
+
+/// Decoders return nullopt on any malformed input (short buffer, wrong
+/// tag, inconsistent counts) — never throw, never read out of bounds.
+std::optional<DataPacket> decode_data(const std::vector<std::uint8_t>& bytes);
+std::optional<WindowTrailer> decode_trailer(const std::vector<std::uint8_t>& bytes);
+std::optional<Feedback> decode_feedback(const std::vector<std::uint8_t>& bytes);
+
+/// Exact encoded size in bytes of a DataPacket header (fixed).
+std::size_t data_packet_header_bytes() noexcept;
+
+}  // namespace espread::proto

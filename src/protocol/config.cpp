@@ -1,0 +1,89 @@
+#include "protocol/config.hpp"
+
+#include <stdexcept>
+
+#include "media/trace.hpp"
+#include "media/trace_io.hpp"
+
+namespace espread::proto {
+
+const char* scheme_name(Scheme s) noexcept {
+    switch (s) {
+        case Scheme::kInOrder: return "in-order";
+        case Scheme::kLayeredNoScramble: return "layered";
+        case Scheme::kLayeredIbo: return "layered+IBO";
+        case Scheme::kLayeredSpread: return "layered+CPO";
+    }
+    return "?";
+}
+
+std::size_t SessionConfig::window_ldus() const {
+    if (stream.kind == StreamKind::kMpeg) {
+        return gops_per_window * media::movie_stats(stream.movie).gop_size;
+    }
+    if (stream.kind == StreamKind::kTraceFile) {
+        const auto frames = media::read_trace_file(stream.trace_path);
+        return gops_per_window * media::infer_gop_pattern(frames).size();
+    }
+    return stream.ldus_per_window;
+}
+
+double SessionConfig::frame_rate() const {
+    if (stream.kind == StreamKind::kMpeg) {
+        return media::movie_stats(stream.movie).fps;
+    }
+    return stream.frame_rate;
+}
+
+sim::SimTime SessionConfig::window_duration() const {
+    return sim::from_seconds(static_cast<double>(window_ldus()) / frame_rate());
+}
+
+void SessionConfig::validate() const {
+    if (stream.kind == StreamKind::kMpeg || stream.kind == StreamKind::kTraceFile) {
+        if (stream.kind == StreamKind::kMpeg) {
+            media::movie_stats(stream.movie);  // throws for unknown movies
+        } else if (stream.trace_path.empty()) {
+            throw std::invalid_argument("SessionConfig: trace_path required");
+        }
+        if (gops_per_window == 0) {
+            throw std::invalid_argument("SessionConfig: gops_per_window must be >= 1");
+        }
+    } else if (stream.ldus_per_window == 0) {
+        throw std::invalid_argument("SessionConfig: ldus_per_window must be >= 1");
+    }
+    if (frame_rate() <= 0.0) {
+        throw std::invalid_argument("SessionConfig: frame rate must be positive");
+    }
+    if (packet_bits == 0) {
+        throw std::invalid_argument("SessionConfig: packet_bits must be positive");
+    }
+    if (alpha < 0.0 || alpha > 1.0) {
+        throw std::invalid_argument("SessionConfig: alpha must be in [0, 1]");
+    }
+    if (num_windows == 0) {
+        throw std::invalid_argument("SessionConfig: num_windows must be >= 1");
+    }
+    if (fec.group == 0 && fec.parity != 0) {
+        throw std::invalid_argument("SessionConfig: FEC parity without group");
+    }
+    if (fec.group > 0 && fec.interleave == 0) {
+        throw std::invalid_argument("SessionConfig: FEC interleave must be >= 1");
+    }
+    if (data_link.bandwidth_bps <= 0.0 || feedback_link.bandwidth_bps <= 0.0) {
+        throw std::invalid_argument("SessionConfig: bandwidth must be positive");
+    }
+    if (playout_startup_windows <= 0.0) {
+        throw std::invalid_argument(
+            "SessionConfig: playout_startup_windows must be positive");
+    }
+    if (predictive_reserve < 0.0 || predictive_reserve >= 1.0) {
+        throw std::invalid_argument(
+            "SessionConfig: predictive_reserve must be in [0, 1)");
+    }
+    if (estimator == EstimatorKind::kSlidingMax && sliding_history == 0) {
+        throw std::invalid_argument("SessionConfig: sliding_history must be >= 1");
+    }
+}
+
+}  // namespace espread::proto

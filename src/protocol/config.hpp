@@ -1,0 +1,134 @@
+// Session configuration for the error-spreading transmission protocol
+// (paper §4.2, Figs. 5–6; experiment parameters from §5.1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "media/gop.hpp"
+#include "net/channel.hpp"
+#include "net/fragment.hpp"
+#include "net/gilbert.hpp"
+
+namespace espread::proto {
+
+/// Which transmission ordering the sender uses.
+enum class Scheme {
+    kInOrder,           ///< MPEG coding order — the paper's "Un Scrambled" baseline
+    kLayeredNoScramble, ///< layered (anchors first) but no within-layer permutation
+    kLayeredIbo,        ///< layered; B layer in Inverse Binary Order (CMT baseline)
+    kLayeredSpread,     ///< layered + per-layer k-CPO — the paper's scheme
+};
+
+const char* scheme_name(Scheme s) noexcept;
+
+/// When the sender decides to shed frames it cannot deliver on time.
+enum class DropPolicy {
+    /// Skip a frame at its send slot if serialization cannot finish before
+    /// the playout deadline (what the deadline naturally enforces).
+    kReactive,
+    /// CMT-style: at window start, estimate the bit budget (bandwidth x
+    /// window duration, minus a retransmission reserve) and pre-drop the
+    /// lowest-priority tail that does not fit — "pktSrc can drop a set of
+    /// low priority frames if it estimates that it can not deliver all of
+    /// the frames in the buffer on time" (paper §4.4).
+    kPredictive,
+};
+
+/// Which burst-bound estimator drives the adaptive permutation.
+enum class EstimatorKind {
+    kEwma,        ///< Eq. 1 exponential average (the paper's choice)
+    kSlidingMax,  ///< max of the last few observations (conservative)
+};
+
+/// What kind of stream the session carries.
+enum class StreamKind {
+    kMpeg,      ///< GOP-structured video from the synthetic movie traces
+    kMjpeg,     ///< dependency-free video frames
+    kAudio,     ///< constant-bit-rate audio LDUs
+    kTraceFile, ///< GOP-structured video loaded from a frame-trace file
+};
+
+/// Stream selection and sizing.
+struct StreamSpec {
+    StreamKind kind = StreamKind::kMpeg;
+    std::string movie = "Jurassic Park";  ///< for kMpeg
+    std::string trace_path;               ///< for kTraceFile (see media/trace_io.hpp)
+    double mjpeg_mean_bits = 24000.0;     ///< for kMjpeg
+    /// LDUs per buffer window for kMjpeg / kAudio (kMpeg/kTraceFile derive
+    /// it from gops_per_window * GOP size).
+    std::size_t ldus_per_window = 24;
+    /// Playback rate for kMjpeg/kAudio/kTraceFile; kMpeg uses the movie's fps.
+    double frame_rate = 24.0;
+};
+
+/// Optional systematic FEC applied to every data packet group (paper §4.3:
+/// error spreading composes with forward error correction at the cost of
+/// parity bandwidth).  A group of `group` data packets plus `parity`
+/// redundant packets survives if any `group` of them arrive.
+struct FecConfig {
+    std::size_t group = 0;   ///< 0 disables FEC
+    std::size_t parity = 0;
+    /// Number of groups filled round-robin (burst interleaving).  With
+    /// depth 1 a loss burst concentrates in one group and can defeat the
+    /// parity; with depth d consecutive packets belong to d different
+    /// groups, spreading the burst across codewords — the same idea as
+    /// frame-level error spreading, applied to the FEC dimension.
+    std::size_t interleave = 1;
+};
+
+/// Everything that defines one simulated streaming session.
+struct SessionConfig {
+    StreamSpec stream;
+    std::size_t gops_per_window = 2;  ///< the paper's W
+
+    Scheme scheme = Scheme::kLayeredSpread;
+    bool retransmit_critical = true;  ///< NACK-driven resend of anchor frames
+    /// Resend attempts per critical frame.  The paper retransmits "upon a
+    /// loss" bounded only by the playout deadline; 6 rounds of a 23 ms RTT
+    /// is far below the 1 s window, so the deadline remains the binding
+    /// limit as in the paper.
+    std::size_t max_retransmits = 6;
+    bool adaptive = true;             ///< feed client estimates into b-hat
+    std::size_t pinned_bound = 0;     ///< >0 freezes the non-critical bound (ablation)
+    double alpha = 0.5;               ///< Eq. 1 averaging weight
+    EstimatorKind estimator = EstimatorKind::kEwma;
+    std::size_t sliding_history = 4;  ///< observations kept by kSlidingMax
+    DropPolicy drop_policy = DropPolicy::kReactive;
+    /// Fraction of the window's bit budget kPredictive keeps back for
+    /// retransmissions; in [0, 1).
+    double predictive_reserve = 0.1;
+    FecConfig fec;
+
+    net::LinkConfig data_link{1.2e6, sim::from_millis(11.5)};
+    net::LinkConfig feedback_link{1.2e6, sim::from_millis(11.5)};
+    net::GilbertParams data_loss{0.92, 0.6};
+    net::GilbertParams feedback_loss{0.92, 0.6};
+    std::size_t packet_bits = net::kDefaultPacketBits;  ///< 16384 (2 KB)
+    std::size_t feedback_bits = 512;
+
+    std::size_t num_windows = 100;  ///< paper plots 100 buffer windows
+    std::uint64_t seed = 1;
+
+    /// Client start-up delay, in buffer-window durations (paper: fill the
+    /// client buffer first, i.e. 1.0).  Values below 1.0 shave latency at
+    /// the cost of late frames counting as unit losses in the playout
+    /// metrics; must be positive.
+    double playout_startup_windows = 1.0;
+
+    /// LDUs per buffer window for the configured stream kind.
+    std::size_t window_ldus() const;
+
+    /// Playback duration of one buffer window, in simulated time.
+    sim::SimTime window_duration() const;
+
+    /// Display rate of the configured stream.
+    double frame_rate() const;
+
+    /// Validates invariants; throws std::invalid_argument with a message on
+    /// the first violation.
+    void validate() const;
+};
+
+}  // namespace espread::proto

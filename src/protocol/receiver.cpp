@@ -1,0 +1,156 @@
+#include "protocol/receiver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace espread::proto {
+
+Receiver::Receiver(std::size_t window_ldus, std::vector<std::size_t> layer_sizes,
+                   std::vector<std::vector<std::size_t>> prereqs)
+    : window_ldus_(window_ldus),
+      layer_sizes_(std::move(layer_sizes)),
+      prereqs_(std::move(prereqs)) {
+    if (window_ldus_ == 0) {
+        throw std::invalid_argument("Receiver: window must be positive");
+    }
+    if (prereqs_.size() != window_ldus_) {
+        throw std::invalid_argument("Receiver: prereqs size != window");
+    }
+}
+
+void Receiver::on_packet(const DataPacket& p, sim::SimTime now) {
+    ++packets_seen_;
+    if (p.parity) return;
+    const std::size_t local = p.frame_index % window_ldus_;
+    WindowState& w = windows_[p.window];
+    FrameAssembly& fa = w.frames[local];
+    fa.num_fragments = p.num_fragments;
+    fa.layer = p.layer;
+    fa.tx_pos = p.tx_pos;
+    const bool was_complete = fa.complete() && fa.num_fragments > 0;
+    fa.received.insert(p.fragment);
+    if (!was_complete && fa.complete()) fa.completed_at = now;
+}
+
+void Receiver::on_trailer(const WindowTrailer& t) {
+    WindowState& w = windows_[t.window];
+    w.layer_sent = t.layer_sent;
+    w.trailer_seen = true;
+}
+
+WindowOutcome Receiver::finalize(std::size_t window) {
+    WindowOutcome out;
+    out.playback.assign(window_ldus_, false);
+    out.layer_max_burst.assign(layer_sizes_.size(), 0);
+    out.layer_lost.assign(layer_sizes_.size(), 0);
+    out.playable_at.assign(window_ldus_, std::nullopt);
+
+    const auto it = windows_.find(window);
+    if (it == windows_.end()) {
+        // Nothing arrived: every layer is one solid loss burst (up to its
+        // size — without a trailer we cannot know how much was sent, so
+        // report the full layer as the conservative estimate).
+        for (std::size_t l = 0; l < layer_sizes_.size(); ++l) {
+            out.layer_max_burst[l] = layer_sizes_[l];
+            out.layer_lost[l] = layer_sizes_[l];
+        }
+        return out;
+    }
+    WindowState& w = it->second;
+    out.trailer_seen = w.trailer_seen;
+
+    // Frame completeness in playback order.
+    std::vector<bool> complete(window_ldus_, false);
+    for (const auto& [local, fa] : w.frames) {
+        if (fa.complete()) {
+            complete[local] = true;
+            ++out.frames_received;
+        }
+    }
+
+    // Decodability: a frame plays only if complete and all prerequisites
+    // play.  Local prerequisite indices are always lower-layer frames; we
+    // resolve with a fixed-point pass over playback order (prerequisites
+    // can sit after a frame in playback order, e.g. a B frame's forward
+    // anchor, so one pass in index order is not enough).
+    out.playback.assign(complete.begin(), complete.end());
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t f = 0; f < window_ldus_; ++f) {
+            if (!out.playback[f]) continue;
+            for (const std::size_t q : prereqs_[f]) {
+                if (!out.playback[q]) {
+                    out.playback[f] = false;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    for (std::size_t f = 0; f < window_ldus_; ++f) {
+        if (complete[f] && !out.playback[f]) ++out.undecodable;
+    }
+
+    // Playable instants: a frame can be decoded once it AND all its
+    // prerequisites have fully arrived, so its playable time is the max of
+    // the completion times along its dependency cone (fixed point, since
+    // forward prerequisites exist).
+    out.playable_at.assign(window_ldus_, std::nullopt);
+    for (const auto& [local, fa] : w.frames) {
+        if (out.playback[local]) out.playable_at[local] = fa.completed_at;
+    }
+    changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t f = 0; f < window_ldus_; ++f) {
+            if (!out.playable_at[f].has_value()) continue;
+            for (const std::size_t q : prereqs_[f]) {
+                // playback[f] implies playback[q], so q has a time.
+                if (*out.playable_at[q] > *out.playable_at[f]) {
+                    out.playable_at[f] = out.playable_at[q];
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Per-layer wire-order loss runs.  Measurement span per layer: the
+    // trailer's sent count when available, otherwise up to the highest
+    // position received (losses beyond it are indistinguishable from
+    // sender-side drops).
+    for (std::size_t l = 0; l < layer_sizes_.size(); ++l) {
+        std::vector<bool> got(layer_sizes_[l], false);
+        std::size_t max_pos_seen = 0;
+        bool any = false;
+        for (const auto& [local, fa] : w.frames) {
+            if (fa.layer == l && fa.complete() && fa.tx_pos < got.size()) {
+                got[fa.tx_pos] = true;
+                max_pos_seen = std::max(max_pos_seen, fa.tx_pos);
+                any = true;
+            }
+        }
+        std::size_t span = 0;
+        if (w.trailer_seen && l < w.layer_sent.size()) {
+            span = std::min(w.layer_sent[l], layer_sizes_[l]);
+        } else if (any) {
+            span = max_pos_seen + 1;
+        }
+        std::size_t run = 0;
+        for (std::size_t pos = 0; pos < span; ++pos) {
+            if (!got[pos]) {
+                ++run;
+                ++out.layer_lost[l];
+                out.layer_max_burst[l] = std::max(out.layer_max_burst[l], run);
+            } else {
+                run = 0;
+            }
+        }
+    }
+
+    windows_.erase(it);
+    return out;
+}
+
+}  // namespace espread::proto

@@ -1,0 +1,95 @@
+// Client-side packet collection and per-window accounting (paper §4.2).
+//
+// The receiver assembles frames from fragments, marks frames undecodable
+// when their prerequisites are missing (an MPEG B frame without its anchors
+// cannot be displayed), and produces (a) the playback-order delivery mask
+// that feeds the continuity metrics and (b) the per-layer maximum
+// consecutive frame loss in transmission order — the estimate it ACKs back
+// to the server.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "protocol/wire.hpp"
+#include "sim/event_queue.hpp"
+
+namespace espread::proto {
+
+/// Result of closing one buffer window at its playout deadline.
+struct WindowOutcome {
+    /// Playback-order mask over the window's LDUs: true = frame arrived
+    /// complete AND all its prerequisites are playable.
+    espread::LossMask playback;
+    /// Frames that arrived complete but could not be decoded.
+    std::size_t undecodable = 0;
+    /// Frames that arrived complete (decodable or not).
+    std::size_t frames_received = 0;
+    /// Per layer: largest run of consecutive frame losses in wire order,
+    /// measured over the frames the server reported sending (trailer), or
+    /// conservatively up to the highest position seen when the trailer was
+    /// lost.
+    std::vector<std::size_t> layer_max_burst;
+    /// Per layer: number of frames lost (same measurement span).
+    std::vector<std::size_t> layer_lost;
+    /// Whether the window trailer arrived.
+    bool trailer_seen = false;
+    /// Per local frame: the instant it became *playable* (all fragments
+    /// arrived and every prerequisite playable); nullopt if it never did.
+    /// Feeds the PlayoutClock.
+    std::vector<std::optional<sim::SimTime>> playable_at;
+};
+
+/// Aggregates arriving packets; windows are finalized explicitly by the
+/// session at each playout deadline.
+class Receiver {
+public:
+    /// `layer_sizes`/`prereqs` come from the (negotiated) Planner; `window_ldus`
+    /// is the LDU window size n.
+    Receiver(std::size_t window_ldus, std::vector<std::size_t> layer_sizes,
+             std::vector<std::vector<std::size_t>> prereqs);
+
+    /// Handles one arriving data packet (parity packets are ignored here;
+    /// FEC recovery re-injects recovered data packets).  `now` is the
+    /// arrival instant; a frame's completion time is the arrival of its
+    /// final missing fragment.
+    void on_packet(const DataPacket& p, sim::SimTime now = 0);
+
+    /// Handles the end-of-window trailer.
+    void on_trailer(const WindowTrailer& t);
+
+    /// Closes window `w`: computes the outcome and releases its state.
+    /// Windows may be finalized in any order; unseen windows yield an
+    /// all-lost outcome.
+    WindowOutcome finalize(std::size_t window);
+
+    std::size_t packets_seen() const noexcept { return packets_seen_; }
+
+private:
+    struct FrameAssembly {
+        std::size_t num_fragments = 0;
+        std::set<std::size_t> received;
+        std::size_t layer = 0;
+        std::size_t tx_pos = 0;
+        sim::SimTime completed_at = 0;  ///< arrival of the last fragment
+        bool complete() const noexcept { return received.size() == num_fragments; }
+    };
+    struct WindowState {
+        std::map<std::size_t, FrameAssembly> frames;  // by local frame index
+        std::vector<std::size_t> layer_sent;          // from trailer
+        bool trailer_seen = false;
+    };
+
+    std::size_t window_ldus_;
+    std::vector<std::size_t> layer_sizes_;
+    std::vector<std::vector<std::size_t>> prereqs_;
+    std::map<std::size_t, WindowState> windows_;
+    std::size_t packets_seen_ = 0;
+};
+
+}  // namespace espread::proto

@@ -1,0 +1,44 @@
+#include "protocol/report.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/stats.hpp"
+
+namespace espread::proto {
+
+void write_csv(std::ostream& out, const SessionResult& result) {
+    out << "window,clf,lost_ldus,alf,undecodable,sender_dropped,"
+           "retransmissions,actual_packet_burst,bound_used\n";
+    for (const WindowReport& w : result.windows) {
+        out << w.window << ',' << w.clf << ',' << w.lost_ldus << ','
+            << sim::format_fixed(w.alf, 6) << ',' << w.undecodable << ','
+            << w.sender_dropped << ',' << w.retransmissions << ','
+            << w.actual_packet_burst << ',' << w.bound_used << '\n';
+    }
+}
+
+void write_csv_file(const std::string& path, const SessionResult& result) {
+    std::ofstream out{path};
+    if (!out) throw std::runtime_error("write_csv_file: cannot open " + path);
+    write_csv(out, result);
+    if (!out) throw std::runtime_error("write_csv_file: write failed: " + path);
+}
+
+std::string summarize(const SessionResult& result) {
+    const sim::RunningStats s = result.clf_stats();
+    std::ostringstream out;
+    out << result.windows.size() << " windows: CLF mean "
+        << sim::format_fixed(s.mean(), 2) << " dev "
+        << sim::format_fixed(s.deviation(), 2) << " max "
+        << sim::format_fixed(s.max(), 0) << "; ALF "
+        << sim::format_fixed(result.total.alf, 3) << "; packets "
+        << result.data_channel.sent << " sent / " << result.data_channel.dropped
+        << " dropped; ACKs applied " << result.acks_applied << "/"
+        << result.acks_sent;
+    return out.str();
+}
+
+}  // namespace espread::proto

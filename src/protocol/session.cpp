@@ -1,0 +1,527 @@
+#include "protocol/session.hpp"
+
+#include "protocol/playout.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <variant>
+
+#include "media/trace.hpp"
+#include "media/trace_io.hpp"
+#include "net/fragment.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace espread::proto {
+
+namespace {
+
+/// Fixed per-packet header cost (sequence numbers, window/layer/fragment
+/// coordinates) charged on the wire in addition to payload bits.
+constexpr std::size_t kPacketHeaderBits = 256;
+
+/// Extra time after a window's playout deadline before the client closes
+/// the window (covers propagation of the final retransmission).
+constexpr sim::SimTime kFinalizeSlack = sim::from_millis(2.0);
+
+using DataMsg = std::variant<DataPacket, WindowTrailer>;
+
+}  // namespace
+
+sim::RunningStats SessionResult::clf_stats() const {
+    sim::RunningStats s;
+    for (const WindowReport& w : windows) s.add(static_cast<double>(w.clf));
+    return s;
+}
+
+sim::RunningStats SessionResult::playout_clf_stats() const {
+    sim::RunningStats s;
+    for (const std::size_t c : playout_window_clf) s.add(static_cast<double>(c));
+    return s;
+}
+
+struct Session::Impl {
+    explicit Impl(SessionConfig c)
+        : cfg(std::move(c)),
+          rng(cfg.seed),
+          planner((cfg.validate(), cfg)),
+          receiver(planner.window_ldus(), planner.layer_sizes(),
+                   planner.prerequisites()),
+          estimator(std::max<std::size_t>(planner.noncritical_size(), 1), cfg.alpha),
+          sliding(std::max<std::size_t>(planner.noncritical_size(), 1),
+                  std::max<std::size_t>(cfg.sliding_history, 1)),
+          data(queue, cfg.data_link, cfg.data_loss, rng.split(1)),
+          feedback(queue, cfg.feedback_link, cfg.feedback_loss, rng.split(2)),
+          playout(cfg.frame_rate(),
+                  static_cast<sim::SimTime>(cfg.playout_startup_windows *
+                                            static_cast<double>(
+                                                cfg.window_duration()))) {
+        if (cfg.stream.kind == StreamKind::kMpeg) {
+            sim::Rng trace_rng = rng.split(3);
+            mpeg.emplace(media::movie_stats(cfg.stream.movie), trace_rng.next_u64());
+        } else if (cfg.stream.kind == StreamKind::kTraceFile) {
+            load_trace_file();
+        } else {
+            const std::size_t total = cfg.num_windows * cfg.window_ldus();
+            if (cfg.stream.kind == StreamKind::kMjpeg) {
+                sim::Rng trace_rng = rng.split(3);
+                pregen = media::mjpeg_trace(total, cfg.stream.mjpeg_mean_bits,
+                                            trace_rng.next_u64());
+            } else {
+                pregen = media::audio_trace(total);
+            }
+        }
+
+        data.set_receiver([this](DataMsg m) {
+            if (std::holds_alternative<DataPacket>(m)) {
+                receiver.on_packet(std::get<DataPacket>(m), queue.now());
+            } else {
+                receiver.on_trailer(std::get<WindowTrailer>(m));
+            }
+        });
+        feedback.set_receiver([this](Feedback f) { on_feedback(f); });
+    }
+
+    /// Loads an external frame trace and tiles it (looping like a repeated
+    /// clip) to cover the whole session, re-normalizing indices and GOP
+    /// coordinates.  Partial trailing GOPs are dropped so the layering
+    /// assumption (fixed pattern per window) holds.
+    void load_trace_file() {
+        const auto file_frames = media::read_trace_file(cfg.stream.trace_path);
+        const media::GopPattern pattern = media::infer_gop_pattern(file_frames);
+        const std::size_t usable =
+            (file_frames.size() / pattern.size()) * pattern.size();
+        if (usable == 0) {
+            throw std::invalid_argument("Session: trace has no complete GOP");
+        }
+        const std::size_t total = cfg.num_windows * cfg.window_ldus();
+        pregen.reserve(total);
+        for (std::size_t i = 0; i < total; ++i) {
+            media::Frame f = file_frames[i % usable];
+            f.index = i;
+            f.gop = i / pattern.size();
+            f.pos_in_gop = i % pattern.size();
+            pregen.push_back(f);
+        }
+    }
+
+    // ---- server side -----------------------------------------------------
+
+    /// Frames of window k, local order.
+    std::vector<media::Frame> take_frames(std::size_t k) {
+        if (mpeg.has_value()) return mpeg->generate(cfg.gops_per_window);
+        const std::size_t n = planner.window_ldus();
+        const auto first = pregen.begin() + static_cast<std::ptrdiff_t>(k * n);
+        return {first, first + static_cast<std::ptrdiff_t>(n)};
+    }
+
+    struct FecGroup {
+        std::vector<std::pair<DataPacket, bool>> packets;  // sent + survived
+        std::size_t data = 0;                              // data packets held
+        std::size_t id = 0;
+    };
+
+    /// Sends one packet; updates loss-burst accounting and FEC state.
+    /// Data packets are assigned to the `interleave` open FEC groups
+    /// round-robin, so a loss burst spreads across codewords.
+    bool send_packet(DataPacket p, WindowReport& rep) {
+        const std::size_t wire_bits = p.size_bits + kPacketHeaderBits;
+        const bool fec_eligible =
+            cfg.fec.group > 0 && !p.retransmission && !p.parity;
+        const bool ok = data.send(DataMsg{p}, wire_bits);
+        if (ok) {
+            packet_burst = 0;
+        } else {
+            ++packet_burst;
+            rep.actual_packet_burst =
+                std::max(rep.actual_packet_burst, packet_burst);
+        }
+        if (fec_eligible) {
+            FecGroup& g = fec_groups[fec_rr];
+            fec_rr = (fec_rr + 1) % fec_groups.size();
+            p.fec_group = g.id;
+            g.packets.emplace_back(p, ok);
+            if (++g.data == cfg.fec.group) flush_fec_group(g, rep);
+        }
+        return ok;
+    }
+
+    /// Emits parity packets for one FEC group and applies erasure recovery:
+    /// if at least as many packets survived as the group holds data
+    /// packets, the lost data packets are delivered to the client as
+    /// decoded copies.  Resets the group for reuse.
+    void flush_fec_group(FecGroup& g, WindowReport& rep) {
+        if (g.packets.empty()) return;
+        for (std::size_t r = 0; r < cfg.fec.parity; ++r) {
+            DataPacket parity;
+            parity.seq = next_seq++;
+            parity.window = rep.window;
+            parity.parity = true;
+            parity.fec_group = g.id;
+            parity.size_bits = cfg.packet_bits;
+            const std::size_t wire_bits = parity.size_bits + kPacketHeaderBits;
+            const bool ok = data.send(DataMsg{parity}, wire_bits);
+            g.packets.emplace_back(parity, ok);
+            if (ok) {
+                packet_burst = 0;
+            } else {
+                ++packet_burst;
+                rep.actual_packet_burst =
+                    std::max(rep.actual_packet_burst, packet_burst);
+            }
+        }
+        std::size_t survivors = 0;
+        std::size_t data_count = 0;
+        for (const auto& [p, ok] : g.packets) {
+            survivors += ok ? 1 : 0;
+            data_count += p.parity ? 0 : 1;
+        }
+        // An erasure code recovers a codeword from any data_count of its
+        // packets (a window's final group may hold fewer than `group`).
+        if (survivors >= data_count && survivors < g.packets.size()) {
+            const sim::SimTime when =
+                data.next_free_time() + cfg.data_link.propagation_delay;
+            for (const auto& [p, ok] : g.packets) {
+                if (!ok && !p.parity) {
+                    queue.schedule_at(when,
+                                      [this, pkt = p] {
+                                          receiver.on_packet(pkt, queue.now());
+                                      });
+                }
+            }
+        }
+        g.packets.clear();
+        g.data = 0;
+        g.id = fec_next_group_id++;
+    }
+
+    struct PendingRetx {
+        sim::SimTime ready;                  ///< earliest resend time (NACK received)
+        std::size_t local_frame;
+        DataPacket prototype;                ///< header template for the frame
+        std::vector<std::size_t> fragments;  ///< fragment ids still missing
+        std::vector<std::size_t> sizes;      ///< all fragment sizes of the frame
+        std::size_t attempts = 0;
+    };
+
+    /// Resends the missing fragments of one critical frame; requeues on
+    /// repeated loss while attempts remain.
+    void service_retx(PendingRetx rx, sim::SimTime deadline, WindowReport& rep) {
+        std::size_t total_bits = 0;
+        for (const std::size_t f : rx.fragments) {
+            total_bits += rx.sizes[f] + kPacketHeaderBits;
+        }
+        const sim::SimTime start = std::max(data.next_free_time(), rx.ready);
+        if (start + data.serialization_time(total_bits) > deadline) {
+            return;  // cannot make the playout deadline; give up on the frame
+        }
+        data.stall_until(rx.ready);
+        std::vector<std::size_t> still_missing;
+        for (const std::size_t f : rx.fragments) {
+            DataPacket p = rx.prototype;
+            p.seq = next_seq++;
+            p.fragment = f;
+            p.size_bits = rx.sizes[f];
+            p.retransmission = true;
+            ++rep.retransmissions;
+            if (!send_packet(p, rep)) still_missing.push_back(f);
+        }
+        if (!still_missing.empty() && rx.attempts + 1 < cfg.max_retransmits) {
+            PendingRetx again = std::move(rx);
+            again.fragments = std::move(still_missing);
+            again.ready = data.next_free_time() +
+                          2 * cfg.data_link.propagation_delay;
+            ++again.attempts;
+            pending_retx.push_back(std::move(again));
+        }
+    }
+
+    /// Services every pending retransmission whose NACK has arrived by the
+    /// link's current timeline position.
+    void service_ready_retx(sim::SimTime deadline, WindowReport& rep) {
+        for (std::size_t i = 0; i < pending_retx.size();) {
+            if (pending_retx[i].ready <= data.next_free_time()) {
+                PendingRetx rx = std::move(pending_retx[i]);
+                pending_retx.erase(pending_retx.begin() +
+                                   static_cast<std::ptrdiff_t>(i));
+                service_retx(std::move(rx), deadline, rep);
+                i = 0;  // list may have changed; rescan
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    /// Transmits buffer window k (invoked by the event queue at k*T).
+    void send_window(std::size_t k) {
+        const std::size_t n = planner.window_ldus();
+        const std::vector<media::Frame> frames = take_frames(k);
+        const std::size_t adaptive_bound = cfg.estimator == EstimatorKind::kEwma
+                                               ? estimator.bound()
+                                               : sliding.bound();
+        const std::size_t bound =
+            cfg.pinned_bound != 0
+                ? std::min(cfg.pinned_bound,
+                           std::max<std::size_t>(planner.noncritical_size(), 1))
+                : adaptive_bound;
+        const WindowPlan& plan = planner.plan(bound);
+        const sim::SimTime deadline =
+            static_cast<sim::SimTime>(k + 1) * cfg.window_duration();
+
+        WindowReport& rep = reports[k];
+        rep.window = k;
+        rep.bound_used = bound;
+
+        std::vector<std::size_t> layer_sent(plan.layer_sizes.size(), 0);
+        std::vector<bool> sent_local(n, false);
+        pending_retx.clear();
+
+        // CMT-style predictive shedding: budget the window's bits up front
+        // (with a retransmission reserve) and pre-drop the lowest-priority
+        // tail of the plan.
+        std::vector<bool> predropped(n, false);
+        if (cfg.drop_policy == DropPolicy::kPredictive) {
+            double budget = sim::to_seconds(cfg.window_duration()) *
+                            cfg.data_link.bandwidth_bps *
+                            (1.0 - cfg.predictive_reserve);
+            if (cfg.fec.group > 0) {
+                // Parity overhead eats a proportional share of the budget.
+                budget *= static_cast<double>(cfg.fec.group) /
+                          static_cast<double>(cfg.fec.group + cfg.fec.parity);
+            }
+            double acc = 0.0;
+            for (const WireEntry& entry : plan.order) {
+                const media::Frame& frame = frames[entry.local_frame];
+                double bits = 0.0;
+                for (const std::size_t s :
+                     net::fragment_sizes(frame.size_bits, cfg.packet_bits)) {
+                    bits += static_cast<double>(s + kPacketHeaderBits);
+                }
+                if (acc + bits > budget) {
+                    predropped[entry.local_frame] = true;
+                } else {
+                    acc += bits;
+                }
+            }
+        }
+        if (cfg.fec.group > 0) {
+            fec_groups.assign(cfg.fec.interleave, FecGroup{});
+            for (auto& g : fec_groups) g.id = fec_next_group_id++;
+            fec_rr = 0;
+        }
+
+        for (const WireEntry& entry : plan.order) {
+            service_ready_retx(deadline, rep);
+
+            if (predropped[entry.local_frame]) {
+                ++rep.sender_dropped;
+                continue;
+            }
+            const media::Frame& frame = frames[entry.local_frame];
+            // Sending a frame whose prerequisite was never sent wastes
+            // bandwidth: the decoder cannot use it.
+            bool prereqs_sent = true;
+            for (const std::size_t q : planner.prerequisites()[entry.local_frame]) {
+                if (!sent_local[q]) {
+                    prereqs_sent = false;
+                    break;
+                }
+            }
+            if (!prereqs_sent) {
+                ++rep.sender_dropped;
+                continue;
+            }
+
+            const std::vector<std::size_t> sizes =
+                net::fragment_sizes(frame.size_bits, cfg.packet_bits);
+            std::size_t total_bits = 0;
+            for (const std::size_t s : sizes) total_bits += s + kPacketHeaderBits;
+            if (data.next_free_time() + data.serialization_time(total_bits) >
+                deadline) {
+                ++rep.sender_dropped;
+                continue;
+            }
+
+            DataPacket proto;
+            proto.window = k;
+            proto.layer = entry.layer;
+            proto.tx_pos = entry.tx_pos;
+            proto.frame_index = frame.index;
+            proto.num_fragments = sizes.size();
+
+            std::vector<std::size_t> lost;
+            for (std::size_t f = 0; f < sizes.size(); ++f) {
+                DataPacket p = proto;
+                p.seq = next_seq++;
+                p.fragment = f;
+                p.size_bits = sizes[f];
+                if (!send_packet(p, rep)) lost.push_back(f);
+            }
+            sent_local[entry.local_frame] = true;
+            ++layer_sent[entry.layer];
+
+            if (!lost.empty() && entry.critical && cfg.retransmit_critical &&
+                cfg.max_retransmits > 0) {
+                PendingRetx rx;
+                rx.ready = data.next_free_time() +
+                           2 * cfg.data_link.propagation_delay;
+                rx.local_frame = entry.local_frame;
+                rx.prototype = proto;
+                rx.fragments = std::move(lost);
+                rx.sizes = sizes;
+                pending_retx.push_back(std::move(rx));
+            }
+        }
+
+        // Drain remaining retransmissions that can still make the deadline.
+        while (!pending_retx.empty()) {
+            auto earliest = std::min_element(
+                pending_retx.begin(), pending_retx.end(),
+                [](const PendingRetx& a, const PendingRetx& b) {
+                    return a.ready < b.ready;
+                });
+            PendingRetx rx = std::move(*earliest);
+            pending_retx.erase(earliest);
+            service_retx(std::move(rx), deadline, rep);
+        }
+
+        if (cfg.fec.group > 0) {
+            for (auto& g : fec_groups) flush_fec_group(g, rep);  // partial groups
+        }
+
+        WindowTrailer trailer;
+        trailer.seq = next_seq++;
+        trailer.window = k;
+        trailer.layer_sent = layer_sent;
+        data.send(DataMsg{trailer}, cfg.feedback_bits);
+
+        queue.schedule_at(
+            deadline + cfg.data_link.propagation_delay + kFinalizeSlack,
+            [this, k] { finalize_window(k); });
+    }
+
+    // ---- client side -----------------------------------------------------
+
+    void finalize_window(std::size_t k) {
+        const WindowOutcome out = receiver.finalize(k);
+        const std::size_t n = planner.window_ldus();
+        for (std::size_t f = 0; f < out.playable_at.size(); ++f) {
+            if (out.playable_at[f].has_value()) {
+                playout.frame_ready(k * n + f, *out.playable_at[f]);
+            }
+        }
+        WindowReport& rep = reports[k];
+        const espread::ContinuityReport cr = espread::measure_continuity(out.playback);
+        rep.clf = cr.clf;
+        rep.lost_ldus = cr.unit_losses;
+        rep.alf = cr.alf;
+        rep.undecodable = out.undecodable;
+        meter.add_window(out.playback);
+
+        Feedback f;
+        f.seq = ++ack_seq;
+        f.window = k;
+        f.layer_max_burst = out.layer_max_burst;
+        f.layer_lost = out.layer_lost;
+        ++acks_sent;
+        feedback.send(std::move(f), cfg.feedback_bits);
+    }
+
+    // ---- server side (feedback path) --------------------------------------
+
+    void on_feedback(const Feedback& f) {
+        // UDP ACKs can arrive out of order; the server acts only on the
+        // highest sequence number seen (paper §4.2).
+        if (f.seq <= last_ack_seq) return;
+        last_ack_seq = f.seq;
+        ++acks_applied;
+        if (!cfg.adaptive || cfg.pinned_bound != 0) return;
+        std::size_t observed = 0;
+        const auto& critical = planner.layer_critical();
+        for (std::size_t l = 0; l < f.layer_max_burst.size(); ++l) {
+            if (l < critical.size() && critical[l]) continue;
+            observed = std::max(observed, f.layer_max_burst[l]);
+        }
+        estimator.update(observed);
+        sliding.update(observed);
+    }
+
+    // ---- driver ------------------------------------------------------------
+
+    SessionResult run() {
+        reports.assign(cfg.num_windows, WindowReport{});
+        for (std::size_t k = 0; k < cfg.num_windows; ++k) {
+            queue.schedule_at(static_cast<sim::SimTime>(k) * cfg.window_duration(),
+                              [this, k] { send_window(k); });
+        }
+        queue.run();
+
+        SessionResult result;
+        result.windows = std::move(reports);
+        result.total = meter.total();
+        result.data_channel = data.stats();
+        result.feedback_channel = feedback.stats();
+        result.acks_sent = acks_sent;
+        result.acks_applied = acks_applied;
+
+        // Playout-judged continuity over the whole stream.
+        const std::size_t n = planner.window_ldus();
+        const std::size_t total_ldus = cfg.num_windows * n;
+        const espread::LossMask playout_mask = playout.playback_mask(total_ldus);
+        espread::ContinuityMeter playout_meter;
+        for (std::size_t k = 0; k < cfg.num_windows; ++k) {
+            const espread::LossMask window_mask(
+                playout_mask.begin() + static_cast<std::ptrdiff_t>(k * n),
+                playout_mask.begin() + static_cast<std::ptrdiff_t>((k + 1) * n));
+            playout_meter.add_window(window_mask);
+            result.playout_window_clf.push_back(
+                espread::consecutive_loss(window_mask));
+        }
+        result.playout_total = playout_meter.total();
+        result.required_startup = playout.required_startup_delay(total_ldus);
+        return result;
+    }
+
+    SessionConfig cfg;
+    sim::EventQueue queue;
+    sim::Rng rng;
+    Planner planner;
+    Receiver receiver;
+    espread::BurstEstimator estimator;
+    espread::SlidingMaxEstimator sliding;
+    net::Channel<DataMsg> data;
+    net::Channel<Feedback> feedback;
+    PlayoutClock playout;
+
+    std::optional<media::TraceGenerator> mpeg;
+    std::vector<media::Frame> pregen;
+
+    std::vector<WindowReport> reports;
+    espread::ContinuityMeter meter;
+    std::vector<PendingRetx> pending_retx;
+
+    std::vector<FecGroup> fec_groups;
+    std::size_t fec_rr = 0;
+    std::size_t fec_next_group_id = 0;
+
+    std::uint64_t next_seq = 0;
+    std::uint64_t ack_seq = 0;
+    std::uint64_t last_ack_seq = 0;
+    std::size_t acks_sent = 0;
+    std::size_t acks_applied = 0;
+    std::size_t packet_burst = 0;
+};
+
+Session::Session(SessionConfig cfg) : impl_(std::make_unique<Impl>(std::move(cfg))) {}
+Session::~Session() = default;
+
+SessionResult Session::run() { return impl_->run(); }
+
+SessionResult run_session(SessionConfig cfg) {
+    Session s{std::move(cfg)};
+    return s.run();
+}
+
+}  // namespace espread::proto

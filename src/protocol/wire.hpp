@@ -1,0 +1,48 @@
+// Wire-format records exchanged between server and client.
+//
+// These carry only header-style metadata (sequence numbers, window/layer
+// coordinates); payload bits are simulated by size accounting on the
+// channel, never materialized.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace espread::proto {
+
+/// One data packet: a fragment of one frame of one buffer window.
+struct DataPacket {
+    std::uint64_t seq = 0;       ///< global packet sequence number
+    std::size_t window = 0;      ///< buffer-window number
+    std::size_t layer = 0;       ///< transmission layer id within the window
+    std::size_t tx_pos = 0;      ///< frame's position in its layer's wire order
+    std::size_t frame_index = 0; ///< global playback index of the frame
+    std::size_t fragment = 0;    ///< fragment number within the frame
+    std::size_t num_fragments = 1;
+    std::size_t size_bits = 0;
+    bool retransmission = false;
+    bool parity = false;         ///< FEC parity packet (carries no frame data)
+    std::size_t fec_group = 0;   ///< FEC group id within the window (if FEC on)
+};
+
+/// End-of-window control record: tells the client how many frames were
+/// actually sent per layer, so sender-side deadline drops are not mistaken
+/// for network losses when estimating the burst bound.  Subject to loss
+/// like any packet; the client falls back to a conservative estimate.
+struct WindowTrailer {
+    std::uint64_t seq = 0;
+    std::size_t window = 0;
+    std::vector<std::size_t> layer_sent;  ///< frames sent per layer
+};
+
+/// Client -> server feedback (the paper's ACK): per-layer estimates of the
+/// largest consecutive frame loss observed in transmission order.
+struct Feedback {
+    std::uint64_t seq = 0;    ///< ACK sequence number (out-of-order ACKs ignored)
+    std::size_t window = 0;   ///< which buffer window this reports on
+    std::vector<std::size_t> layer_max_burst;  ///< frames, per layer
+    std::vector<std::size_t> layer_lost;       ///< lost frame count, per layer
+};
+
+}  // namespace espread::proto

@@ -1,0 +1,43 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace espread::sim {
+
+void EventQueue::schedule_at(SimTime when, Callback cb) {
+    if (!cb) throw std::invalid_argument("EventQueue: null callback");
+    heap_.push(Entry{std::max(when, now_), next_seq_++, std::move(cb)});
+}
+
+void EventQueue::schedule_after(SimTime delay, Callback cb) {
+    schedule_at(now_ + std::max<SimTime>(delay, 0), std::move(cb));
+}
+
+bool EventQueue::step() {
+    if (heap_.empty()) return false;
+    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+    // so copy the callback handle (shared ownership via std::function copy).
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.when;
+    e.cb();
+    return true;
+}
+
+void EventQueue::run_until(SimTime deadline) {
+    while (!heap_.empty() && heap_.top().when <= deadline) step();
+    now_ = std::max(now_, deadline);
+}
+
+void EventQueue::run(std::uint64_t max_events) {
+    std::uint64_t n = 0;
+    while (step()) {
+        if (++n >= max_events) {
+            throw std::runtime_error("EventQueue::run: event budget exhausted (livelock?)");
+        }
+    }
+}
+
+}  // namespace espread::sim

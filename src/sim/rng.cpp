@@ -1,0 +1,97 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+
+namespace espread::sim {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+    std::uint64_t s = seed;
+    for (auto& w : state_) w = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double Rng::uniform() noexcept {
+    // Top 53 bits scaled into [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) noexcept {
+    const std::uint64_t range = hi - lo;  // inclusive width - 1
+    if (range == max()) return next_u64();
+    const std::uint64_t span = range + 1;
+    // Rejection sampling over the largest multiple of `span` that fits.
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t v = next_u64();
+    while (v >= limit) v = next_u64();
+    return lo + v % span;
+}
+
+bool Rng::bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+}
+
+double Rng::exponential(double mean) noexcept {
+    // uniform() can return exactly 0; use 1 - u in (0, 1].
+    return -mean * std::log1p(-uniform());
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+    double u1 = uniform();
+    while (u1 == 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+    return std::exp(normal(mu, sigma));
+}
+
+std::uint64_t Rng::geometric(double p) noexcept {
+    if (p >= 1.0) return 0;
+    std::uint64_t n = 0;
+    while (!bernoulli(p)) ++n;
+    return n;
+}
+
+Rng Rng::split(std::uint64_t stream_id) noexcept {
+    // Mix the current state with the stream id through SplitMix64 to derive
+    // a decorrelated child seed.
+    std::uint64_t s = state_[0] ^ rotl(state_[2], 29) ^ (stream_id * 0xD1342543DE82EF95ULL);
+    return Rng{splitmix64(s)};
+}
+
+}  // namespace espread::sim

@@ -1,0 +1,99 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace espread::sim {
+
+void RunningStats::add(double x) noexcept {
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+    if (count_ < 2) return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::deviation() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::sample_variance() const noexcept {
+    if (count_ < 2) return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+void TimeSeries::add(double x, double y) {
+    xs_.push_back(x);
+    ys_.push_back(y);
+}
+
+RunningStats TimeSeries::y_stats() const {
+    RunningStats s;
+    for (double y : ys_) s.add(y);
+    return s;
+}
+
+void Histogram::add(std::int64_t value) noexcept {
+    ++bins_[value];
+    ++total_;
+}
+
+std::size_t Histogram::count(std::int64_t value) const noexcept {
+    const auto it = bins_.find(value);
+    return it == bins_.end() ? 0 : it->second;
+}
+
+double Histogram::fraction(std::int64_t value) const noexcept {
+    if (total_ == 0) return 0.0;
+    return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+std::int64_t Histogram::min() const noexcept {
+    return bins_.empty() ? 0 : bins_.begin()->first;
+}
+
+std::int64_t Histogram::max() const noexcept {
+    return bins_.empty() ? 0 : bins_.rbegin()->first;
+}
+
+double Histogram::mean() const noexcept {
+    if (total_ == 0) return 0.0;
+    double sum = 0.0;
+    for (const auto& [v, c] : bins_) sum += static_cast<double>(v) * static_cast<double>(c);
+    return sum / static_cast<double>(total_);
+}
+
+std::string format_fixed(double x, int digits) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, x);
+    return buf;
+}
+
+}  // namespace espread::sim

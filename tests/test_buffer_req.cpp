@@ -1,0 +1,63 @@
+#include "protocol/buffer_req.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "media/trace.hpp"
+
+namespace {
+
+using espread::media::movie_stats;
+using espread::proto::buffer_requirement;
+using espread::proto::BufferRequirement;
+
+// Paper §4.1 example: Star Wars' largest GOP is 932 710 bits ≈ 113 KB.
+TEST(BufferReq, StarWarsMatchesPaperExample) {
+    const BufferRequirement r = buffer_requirement(movie_stats("Star Wars"), 1);
+    EXPECT_EQ(r.bits, 932'710u);
+    EXPECT_NEAR(static_cast<double>(r.bytes) / 1024.0, 113.0, 1.0);
+    EXPECT_EQ(r.frames, 12u);
+    EXPECT_DOUBLE_EQ(r.startup_delay_s, 0.5);
+}
+
+TEST(BufferReq, ScalesLinearlyWithGops) {
+    const auto& movie = movie_stats("Terminator");
+    const BufferRequirement one = buffer_requirement(movie, 1);
+    const BufferRequirement four = buffer_requirement(movie, 4);
+    EXPECT_EQ(four.bits, 4 * one.bits);
+    EXPECT_EQ(four.frames, 4 * one.frames);
+    EXPECT_DOUBLE_EQ(four.startup_delay_s, 4 * one.startup_delay_s);
+}
+
+TEST(BufferReq, TwoGopStartupForGop12At24Fps) {
+    // W = 2 GOPs of 12 frames at 24 fps: exactly 1 second of start-up delay —
+    // the "acceptable in most practical situations" case of §5.2.
+    const BufferRequirement r =
+        buffer_requirement(movie_stats("Jurassic Park"), 2);
+    EXPECT_DOUBLE_EQ(r.startup_delay_s, 1.0);
+}
+
+TEST(BufferReq, Gop15MovieUses30Fps) {
+    const BufferRequirement r =
+        buffer_requirement(movie_stats("Beauty and the Beast"), 2);
+    EXPECT_EQ(r.frames, 30u);
+    EXPECT_DOUBLE_EQ(r.startup_delay_s, 1.0);
+}
+
+TEST(BufferReq, AllCatalogMoviesAreViable) {
+    // The paper's point: even 8 GOPs of the largest movie stays in the
+    // single-megabyte range — viable for a late-90s workstation.
+    for (const auto& movie : espread::media::movie_catalog()) {
+        const BufferRequirement r = buffer_requirement(movie, 8);
+        EXPECT_LT(r.bytes, 2u * 1024 * 1024) << movie.name;
+        EXPECT_GT(r.bytes, 100u * 1024) << movie.name;
+    }
+}
+
+TEST(BufferReq, ZeroGopsThrows) {
+    EXPECT_THROW(buffer_requirement(movie_stats("Star Wars"), 0),
+                 std::invalid_argument);
+}
+
+}  // namespace

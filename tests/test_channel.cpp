@@ -1,0 +1,139 @@
+#include "net/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/fragment.hpp"
+
+namespace {
+
+using espread::net::Channel;
+using espread::net::GilbertParams;
+using espread::net::LinkConfig;
+using espread::sim::EventQueue;
+using espread::sim::from_millis;
+using espread::sim::from_seconds;
+using espread::sim::Rng;
+using espread::sim::SimTime;
+
+constexpr GilbertParams kLossless{1.0, 0.0};
+
+TEST(Channel, DeliveryTimeIsSerializationPlusPropagation) {
+    EventQueue q;
+    // 1000 bits at 1 Mb/s = 1 ms serialization; 11.5 ms propagation.
+    Channel<int> ch{q, LinkConfig{1e6, from_millis(11.5)}, kLossless, Rng{1}};
+    SimTime arrival = -1;
+    ch.set_receiver([&](int) { arrival = q.now(); });
+    ch.send(7, 1000);
+    q.run();
+    EXPECT_EQ(arrival, from_millis(12.5));
+}
+
+TEST(Channel, BackToBackMessagesSerialize) {
+    EventQueue q;
+    Channel<int> ch{q, LinkConfig{1e6, 0}, kLossless, Rng{1}};
+    std::vector<SimTime> arrivals;
+    std::vector<int> payloads;
+    ch.set_receiver([&](int v) {
+        arrivals.push_back(q.now());
+        payloads.push_back(v);
+    });
+    ch.send(1, 1000);
+    ch.send(2, 1000);
+    ch.send(3, 1000);
+    q.run();
+    ASSERT_EQ(arrivals.size(), 3u);
+    EXPECT_EQ(payloads, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(arrivals[0], from_millis(1));
+    EXPECT_EQ(arrivals[1], from_millis(2));
+    EXPECT_EQ(arrivals[2], from_millis(3));
+}
+
+TEST(Channel, LinkFreesUpOverTime) {
+    EventQueue q;
+    Channel<int> ch{q, LinkConfig{1e6, 0}, kLossless, Rng{1}};
+    ch.set_receiver([](int) {});
+    EXPECT_EQ(ch.next_free_time(), 0);
+    ch.send(1, 2000);
+    EXPECT_EQ(ch.next_free_time(), from_millis(2));
+    EXPECT_EQ(ch.serialization_time(1000), from_millis(1));
+    q.run();
+}
+
+TEST(Channel, AllPacketsDroppedWhenAlwaysBad) {
+    EventQueue q;
+    // p_good = 0 and p_bad = 1: everything after the first packet dies.
+    Channel<int> ch{q, LinkConfig{1e6, 0}, GilbertParams{0.0, 1.0}, Rng{1}};
+    int received = 0;
+    ch.set_receiver([&](int) { ++received; });
+    for (int i = 0; i < 10; ++i) ch.send(i, 100);
+    q.run();
+    EXPECT_EQ(received, 1);  // initial GOOD state admits the first packet
+    EXPECT_EQ(ch.stats().sent, 10u);
+    EXPECT_EQ(ch.stats().delivered, 1u);
+    EXPECT_EQ(ch.stats().dropped, 9u);
+    EXPECT_EQ(ch.stats().bits_sent, 1000u);
+}
+
+TEST(Channel, LossyDeliveryIsDeterministicPerSeed) {
+    auto run = [](std::uint64_t seed) {
+        EventQueue q;
+        Channel<int> ch{q, LinkConfig{1e6, 0}, GilbertParams{0.9, 0.5}, Rng{seed}};
+        std::vector<int> got;
+        ch.set_receiver([&](int v) { got.push_back(v); });
+        for (int i = 0; i < 200; ++i) ch.send(i, 500);
+        q.run();
+        return got;
+    };
+    EXPECT_EQ(run(5), run(5));
+    EXPECT_NE(run(5), run(6));
+}
+
+TEST(Channel, MoveOnlyPayloadsSupported) {
+    EventQueue q;
+    Channel<std::unique_ptr<std::string>> ch{q, LinkConfig{1e6, 0}, kLossless, Rng{1}};
+    std::string got;
+    ch.set_receiver([&](std::unique_ptr<std::string> s) { got = *s; });
+    ch.send(std::make_unique<std::string>("hello"), 64);
+    q.run();
+    EXPECT_EQ(got, "hello");
+}
+
+TEST(Channel, RejectsBadLinkConfig) {
+    EventQueue q;
+    EXPECT_THROW((Channel<int>{q, LinkConfig{0.0, 0}, kLossless, Rng{1}}),
+                 std::invalid_argument);
+    EXPECT_THROW((Channel<int>{q, LinkConfig{1e6, -5}, kLossless, Rng{1}}),
+                 std::invalid_argument);
+}
+
+TEST(Fragment, ExactDivision) {
+    EXPECT_EQ(espread::net::packet_count(32768, 16384), 2u);
+    EXPECT_EQ(espread::net::fragment_sizes(32768, 16384),
+              (std::vector<std::size_t>{16384, 16384}));
+}
+
+TEST(Fragment, RemainderGoesLast) {
+    EXPECT_EQ(espread::net::fragment_sizes(20000, 16384),
+              (std::vector<std::size_t>{16384, 3616}));
+    EXPECT_EQ(espread::net::packet_count(20000, 16384), 2u);
+}
+
+TEST(Fragment, SmallFrameSinglePacket) {
+    EXPECT_EQ(espread::net::fragment_sizes(100, 16384),
+              (std::vector<std::size_t>{100}));
+}
+
+TEST(Fragment, ZeroSizeFrameStillNeedsAPacket) {
+    EXPECT_EQ(espread::net::packet_count(0, 16384), 1u);
+    EXPECT_EQ(espread::net::fragment_sizes(0, 16384),
+              (std::vector<std::size_t>{1}));
+}
+
+TEST(Fragment, ZeroMtuThrows) {
+    EXPECT_THROW(espread::net::packet_count(100, 0), std::invalid_argument);
+}
+
+}  // namespace

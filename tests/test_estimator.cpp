@@ -1,0 +1,140 @@
+#include "core/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using espread::BurstEstimator;
+using espread::max_transmission_burst;
+
+TEST(MaxTransmissionBurst, MeasuresLongestLossRun) {
+    EXPECT_EQ(max_transmission_burst({true, false, false, false, true, false}), 3u);
+    EXPECT_EQ(max_transmission_burst({true, true}), 0u);
+    EXPECT_EQ(max_transmission_burst({}), 0u);
+}
+
+TEST(Estimator, InitialEstimateIsHalfWindow) {
+    const BurstEstimator e{24};
+    EXPECT_DOUBLE_EQ(e.estimate(), 12.0);
+    EXPECT_EQ(e.bound(), 12u);
+    EXPECT_EQ(e.observations(), 0u);
+}
+
+TEST(Estimator, EquationOneWithDefaultAlpha) {
+    BurstEstimator e{24};  // estimate 12
+    e.update(4);
+    EXPECT_DOUBLE_EQ(e.estimate(), 8.0);  // 0.5*4 + 0.5*12
+    e.update(0);
+    EXPECT_DOUBLE_EQ(e.estimate(), 4.0);
+    e.update(6);
+    EXPECT_DOUBLE_EQ(e.estimate(), 5.0);
+    EXPECT_EQ(e.observations(), 3u);
+}
+
+TEST(Estimator, BoundIsCeilingOfEstimate) {
+    BurstEstimator e{10};  // estimate 5
+    e.update(2);           // 3.5
+    EXPECT_EQ(e.bound(), 4u);
+}
+
+TEST(Estimator, BoundNeverBelowOne) {
+    BurstEstimator e{10, 1.0};
+    e.update(0);
+    EXPECT_DOUBLE_EQ(e.estimate(), 0.0);
+    EXPECT_EQ(e.bound(), 1u);
+}
+
+TEST(Estimator, BoundNeverAboveWindow) {
+    BurstEstimator e{4, 1.0};
+    e.update(100);  // clamped to window
+    EXPECT_DOUBLE_EQ(e.estimate(), 4.0);
+    EXPECT_EQ(e.bound(), 4u);
+}
+
+TEST(Estimator, AlphaZeroFreezesEstimate) {
+    BurstEstimator e{20, 0.0};
+    e.update(19);
+    e.update(1);
+    EXPECT_DOUBLE_EQ(e.estimate(), 10.0);
+}
+
+TEST(Estimator, AlphaOneTracksLatestObservation) {
+    BurstEstimator e{20, 1.0};
+    e.update(7);
+    EXPECT_DOUBLE_EQ(e.estimate(), 7.0);
+    e.update(3);
+    EXPECT_DOUBLE_EQ(e.estimate(), 3.0);
+}
+
+TEST(Estimator, ConvergesToSteadyObservation) {
+    BurstEstimator e{100};
+    for (int i = 0; i < 40; ++i) e.update(6);
+    EXPECT_NEAR(e.estimate(), 6.0, 1e-6);
+    EXPECT_EQ(e.bound(), 6u);
+}
+
+TEST(Estimator, InvalidArgumentsThrow) {
+    EXPECT_THROW(BurstEstimator(0), std::invalid_argument);
+    EXPECT_THROW(BurstEstimator(5, -0.1), std::invalid_argument);
+    EXPECT_THROW(BurstEstimator(5, 1.1), std::invalid_argument);
+}
+
+// ---- SlidingMaxEstimator --------------------------------------------------
+
+using espread::SlidingMaxEstimator;
+
+TEST(SlidingMax, InitialBoundIsHalfWindow) {
+    const SlidingMaxEstimator e{20};
+    EXPECT_EQ(e.bound(), 10u);
+    EXPECT_EQ(e.observations(), 0u);
+}
+
+TEST(SlidingMax, TracksMaximumOfHistory) {
+    SlidingMaxEstimator e{20, 3};
+    e.update(2);
+    EXPECT_EQ(e.bound(), 2u);
+    e.update(7);
+    e.update(1);
+    EXPECT_EQ(e.bound(), 7u);
+}
+
+TEST(SlidingMax, OldObservationsAgeOut) {
+    SlidingMaxEstimator e{20, 3};
+    e.update(9);
+    e.update(1);
+    e.update(1);
+    EXPECT_EQ(e.bound(), 9u);
+    e.update(1);  // evicts the 9
+    EXPECT_EQ(e.bound(), 1u);
+}
+
+TEST(SlidingMax, ClampsToWindowAndFloorOne) {
+    SlidingMaxEstimator e{8, 2};
+    e.update(100);
+    EXPECT_EQ(e.bound(), 8u);
+    e.update(0);
+    e.update(0);
+    EXPECT_EQ(e.bound(), 1u);
+}
+
+TEST(SlidingMax, MoreConservativeThanEwmaAfterASpike) {
+    BurstEstimator ewma{32};
+    SlidingMaxEstimator smax{32, 4};
+    for (const std::size_t obs : {16u, 1u, 1u, 1u}) {
+        ewma.update(obs);
+        smax.update(obs);
+    }
+    // Three calm windows later the EWMA has decayed; the sliding max still
+    // remembers the storm.
+    EXPECT_LT(ewma.bound(), smax.bound());
+    EXPECT_EQ(smax.bound(), 16u);
+}
+
+TEST(SlidingMax, InvalidArgumentsThrow) {
+    EXPECT_THROW(SlidingMaxEstimator(0, 4), std::invalid_argument);
+    EXPECT_THROW(SlidingMaxEstimator(5, 0), std::invalid_argument);
+}
+
+}  // namespace

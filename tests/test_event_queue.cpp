@@ -1,0 +1,109 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using espread::sim::EventQueue;
+using espread::sim::from_millis;
+using espread::sim::from_seconds;
+using espread::sim::SimTime;
+using espread::sim::to_seconds;
+
+TEST(SimTimeConversions, RoundTrip) {
+    EXPECT_EQ(from_seconds(1.0), 1'000'000'000);
+    EXPECT_EQ(from_millis(23.0), 23'000'000);
+    EXPECT_DOUBLE_EQ(to_seconds(from_seconds(0.75)), 0.75);
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule_at(30, [&] { order.push_back(3); });
+    q.schedule_at(10, [&] { order.push_back(1); });
+    q.schedule_at(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, FifoTieBreakAtSameInstant) {
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        q.schedule_at(100, [&order, i] { order.push_back(i); });
+    }
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+    EventQueue q;
+    SimTime fired_at = -1;
+    q.schedule_at(50, [&] {
+        q.schedule_after(25, [&] { fired_at = q.now(); });
+    });
+    q.run();
+    EXPECT_EQ(fired_at, 75);
+}
+
+TEST(EventQueue, PastSchedulingIsClampedNotDropped) {
+    EventQueue q;
+    bool ran = false;
+    q.schedule_at(100, [&] {
+        q.schedule_at(10, [&] { ran = true; });  // "in the past"
+    });
+    q.run();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(q.now(), 100);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+    EventQueue q;
+    std::vector<SimTime> fired;
+    for (SimTime t : {10, 20, 30, 40}) {
+        q.schedule_at(t, [&fired, &q] { fired.push_back(q.now()); });
+    }
+    q.run_until(25);
+    EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+    EXPECT_EQ(q.now(), 25);
+    EXPECT_EQ(q.pending(), 2u);
+    q.run();
+    EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+    EventQueue q;
+    EXPECT_FALSE(q.step());
+    q.schedule_at(1, [] {});
+    EXPECT_TRUE(q.step());
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, NullCallbackThrows) {
+    EventQueue q;
+    EXPECT_THROW(q.schedule_at(1, nullptr), std::invalid_argument);
+}
+
+TEST(EventQueue, RunawayLoopHitsBudget) {
+    EventQueue q;
+    // Each event schedules the next forever.
+    std::function<void()> tick = [&] { q.schedule_after(1, tick); };
+    q.schedule_at(0, tick);
+    EXPECT_THROW(q.run(1000), std::runtime_error);
+}
+
+TEST(EventQueue, NegativeDelayClampedToNow) {
+    EventQueue q;
+    SimTime fired_at = -1;
+    q.schedule_at(40, [&] {
+        q.schedule_after(-100, [&] { fired_at = q.now(); });
+    });
+    q.run();
+    EXPECT_EQ(fired_at, 40);
+}
+
+}  // namespace

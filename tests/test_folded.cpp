@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/burst.hpp"
+#include "core/cpo.hpp"
+#include "core/interleaver.hpp"
+#include "core/optimal.hpp"
+
+namespace {
+
+using espread::calculate_permutation;
+using espread::cpo_clf;
+using espread::folded_dyadic_order;
+using espread::optimal_clf;
+using espread::Permutation;
+using espread::worst_case_clf;
+
+TEST(FoldedDyadic, IsAValidPermutation) {
+    for (std::size_t n : {1u, 2u, 3u, 7u, 8u, 16u, 17u, 100u}) {
+        const Permutation p = folded_dyadic_order(n);  // ctor validates
+        EXPECT_EQ(p.size(), n);
+    }
+    EXPECT_EQ(folded_dyadic_order(0).size(), 0u);
+}
+
+TEST(FoldedDyadic, FirstSlotCarriesTheMidpoint) {
+    const Permutation p = folded_dyadic_order(16);
+    EXPECT_EQ(p[0], 8u);
+    // The wire's last slot carries the next-best pillar (a quarter point).
+    EXPECT_TRUE(p[15] == 4u || p[15] == 12u) << p[15];
+}
+
+TEST(FoldedDyadic, SurvivorOfNearTotalLossIsCentral) {
+    // Burst of n-1 leaves exactly one surviving slot — either wire end.
+    // Both ends carry central pillars, so the loss splits into two runs.
+    for (std::size_t n : {8u, 16u, 32u}) {
+        const Permutation p = folded_dyadic_order(n);
+        const std::size_t clf = worst_case_clf(p, n - 1);
+        EXPECT_LT(clf, n - 1) << "n=" << n;         // beats every stride order
+        EXPECT_LE(clf, (3 * n) / 4) << "n=" << n;   // survivor within mid half
+    }
+}
+
+TEST(FoldedDyadic, BeatsNaiveOrderForLargeBursts) {
+    // In the b -> n regime the natural-order residue classes collapse to
+    // ~b; the folded pillar structure does not.
+    const std::size_t n = 24;
+    const Permutation folded = folded_dyadic_order(n);
+    const Permutation identity = Permutation::identity(n);
+    for (std::size_t b = n - 4; b < n; ++b) {
+        EXPECT_LT(worst_case_clf(folded, b), worst_case_clf(identity, b))
+            << "b=" << b;
+    }
+}
+
+TEST(FoldedDyadic, ReversedHalfStrideDominatesItAtNearTotalLoss) {
+    // Documents why calculate_permutation does not need the folded family:
+    // residue classes with a REVERSED visit order put both near-middle
+    // frames at the wire ends, achieving the optimal survivor structure.
+    // At b = n - 1 exactly one wire slot survives (either end), leaving
+    // runs x and n-1-x; the best possible worst case is therefore
+    // ceil((n-1)/2) — analytic, since branch-and-bound at n = 32 is
+    // infeasible.
+    const auto r = calculate_permutation(32, 31);
+    EXPECT_EQ(r.clf, 16u);
+    EXPECT_LE(r.clf, worst_case_clf(folded_dyadic_order(32), 31));
+}
+
+TEST(FoldedDyadic, FamilyGuaranteeStaysSandwiched) {
+    for (std::size_t n = 2; n <= 20; ++n) {
+        for (std::size_t b = 1; b <= n; ++b) {
+            const std::size_t c = cpo_clf(n, b);
+            EXPECT_GE(c, espread::lower_bound_clf(n, b));
+            EXPECT_LE(c, b);
+        }
+    }
+}
+
+TEST(FoldedDyadic, FamilyGapToOptimumIsTiny) {
+    // Exhaustive check: across all (n, b) with n <= 9, the extended stride
+    // family misses the true optimum by at most 1 in at most 3 cells.
+    std::size_t gap_total = 0;
+    for (std::size_t n = 2; n <= 9; ++n) {
+        for (std::size_t b = 1; b <= n; ++b) {
+            const std::size_t gap = cpo_clf(n, b) - optimal_clf(n, b);
+            EXPECT_LE(gap, 1u) << "n=" << n << " b=" << b;
+            gap_total += gap;
+        }
+    }
+    EXPECT_LE(gap_total, 3u);
+}
+
+TEST(FoldedDyadic, PrefixesArePillarSets) {
+    // The first k wire slots split playback into runs of ~n/k: check the
+    // complement's max run halves as the prefix doubles.
+    const std::size_t n = 64;
+    const Permutation p = folded_dyadic_order(n);
+    std::size_t prev_run = n;
+    for (std::size_t k = 1; k <= 32; k *= 2) {
+        espread::LossMask mask(n, false);
+        // Survivors: both wire ends contribute; take the front k slots.
+        for (std::size_t s = 0; s < k; ++s) mask[p[s]] = true;
+        const std::size_t run = espread::consecutive_loss(mask);
+        EXPECT_LE(run, prev_run);
+        EXPECT_LE(run, n / k + n / (2 * k) + 1) << "k=" << k;
+        prev_run = run;
+    }
+}
+
+}  // namespace

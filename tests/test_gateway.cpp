@@ -1,0 +1,134 @@
+#include "net/gateway.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using espread::net::Gateway;
+using espread::net::GatewayConfig;
+using espread::net::QueueDiscipline;
+using espread::sim::Rng;
+
+GatewayConfig congested(QueueDiscipline d) {
+    GatewayConfig cfg;
+    cfg.discipline = d;
+    // Offered load > service when cross traffic is ON: 1 + 6 vs 3.
+    return cfg;
+}
+
+struct LossStats {
+    double rate = 0.0;
+    double conditional = 0.0;  // P(loss | previous loss)
+    double mean_burst = 0.0;
+};
+
+LossStats measure(QueueDiscipline d, std::uint64_t seed, int packets = 200000) {
+    Gateway g{congested(d), Rng{seed}};
+    int lost = 0;
+    int after_loss = 0;
+    int after_loss_lost = 0;
+    espread::sim::RunningStats bursts;
+    int run = 0;
+    bool prev = false;
+    for (int i = 0; i < packets; ++i) {
+        const bool dropped = g.offer_packet();
+        if (dropped) {
+            ++lost;
+            ++run;
+        } else if (run > 0) {
+            bursts.add(run);
+            run = 0;
+        }
+        if (prev) {
+            ++after_loss;
+            if (dropped) ++after_loss_lost;
+        }
+        prev = dropped;
+    }
+    LossStats s;
+    s.rate = static_cast<double>(lost) / packets;
+    s.conditional = after_loss == 0
+                        ? 0.0
+                        : static_cast<double>(after_loss_lost) / after_loss;
+    s.mean_burst = bursts.mean();
+    return s;
+}
+
+TEST(Gateway, UncongestedQueueDropsNothing) {
+    GatewayConfig cfg;
+    cfg.cross_burst_rate = 0.0;  // just the probe stream, 1 pkt/slot vs 3 service
+    Gateway g{cfg, Rng{1}};
+    for (int i = 0; i < 5000; ++i) EXPECT_FALSE(g.offer_packet());
+    EXPECT_EQ(g.cross_offered(), 0u);
+}
+
+TEST(Gateway, OverloadCausesLoss) {
+    const LossStats s = measure(QueueDiscipline::kDropTail, 2);
+    EXPECT_GT(s.rate, 0.02);
+    EXPECT_LT(s.rate, 0.8);
+}
+
+// The paper's §1 claim: drop-tail produces BURSTY loss (losses cluster),
+// RED spreads its drops out.
+TEST(Gateway, DropTailIsBurstierThanRed) {
+    const LossStats tail = measure(QueueDiscipline::kDropTail, 3);
+    const LossStats red = measure(QueueDiscipline::kRed, 3);
+    // Conditional loss probability far exceeds the marginal under drop-tail.
+    EXPECT_GT(tail.conditional, 2.0 * tail.rate);
+    // RED's early random drops de-cluster the loss process.
+    EXPECT_LT(red.conditional, tail.conditional);
+    EXPECT_LT(red.mean_burst, tail.mean_burst);
+}
+
+TEST(Gateway, RedKeepsAverageQueueLower) {
+    Gateway tail{congested(QueueDiscipline::kDropTail), Rng{4}};
+    Gateway red{congested(QueueDiscipline::kRed), Rng{4}};
+    double tail_q = 0.0;
+    double red_q = 0.0;
+    for (int i = 0; i < 50000; ++i) {
+        tail.offer_packet();
+        red.offer_packet();
+        tail_q += tail.queue_length();
+        red_q += red.queue_length();
+    }
+    EXPECT_LT(red_q, tail_q);
+}
+
+TEST(Gateway, CrossTrafficAccounting) {
+    Gateway g{congested(QueueDiscipline::kDropTail), Rng{5}};
+    for (int i = 0; i < 20000; ++i) g.offer_packet();
+    EXPECT_GT(g.cross_offered(), 0u);
+    EXPECT_GT(g.cross_dropped(), 0u);
+    EXPECT_LT(g.cross_dropped(), g.cross_offered());
+}
+
+TEST(Gateway, DeterministicPerSeed) {
+    Gateway a{congested(QueueDiscipline::kRed), Rng{6}};
+    Gateway b{congested(QueueDiscipline::kRed), Rng{6}};
+    for (int i = 0; i < 2000; ++i) ASSERT_EQ(a.offer_packet(), b.offer_packet());
+}
+
+TEST(Gateway, InvalidConfigsThrow) {
+    GatewayConfig cfg;
+    cfg.capacity = 0;
+    EXPECT_THROW(Gateway(cfg, Rng{1}), std::invalid_argument);
+    cfg = GatewayConfig{};
+    cfg.service_per_slot = 0.0;
+    EXPECT_THROW(Gateway(cfg, Rng{1}), std::invalid_argument);
+    cfg = GatewayConfig{};
+    cfg.red_min_threshold = 0.8;  // above max threshold
+    EXPECT_THROW(Gateway(cfg, Rng{1}), std::invalid_argument);
+    cfg = GatewayConfig{};
+    cfg.p_stay_on = 1.5;
+    EXPECT_THROW(Gateway(cfg, Rng{1}), std::invalid_argument);
+    cfg = GatewayConfig{};
+    cfg.cross_burst_rate = -1.0;
+    EXPECT_THROW(Gateway(cfg, Rng{1}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+#include "net/gilbert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/stats.hpp"
+
+namespace {
+
+using espread::net::GilbertLoss;
+using espread::net::GilbertParams;
+using espread::sim::Rng;
+
+TEST(Gilbert, StartsGoodSoFirstPacketSurvives) {
+    GilbertLoss g{GilbertParams{1.0, 1.0}, Rng{1}};
+    EXPECT_FALSE(g.drop_next());
+    EXPECT_EQ(g.state(), GilbertLoss::State::kGood);
+}
+
+TEST(Gilbert, AlwaysBadOnceEntered) {
+    // p_good = 0: leaves GOOD immediately; p_bad = 1: never recovers.
+    GilbertLoss g{GilbertParams{0.0, 1.0}, Rng{2}};
+    EXPECT_FALSE(g.drop_next());  // first packet sees initial GOOD state
+    for (int i = 0; i < 100; ++i) EXPECT_TRUE(g.drop_next());
+}
+
+TEST(Gilbert, PerfectNetworkNeverDrops) {
+    GilbertLoss g{GilbertParams{1.0, 0.0}, Rng{3}};
+    for (int i = 0; i < 1000; ++i) EXPECT_FALSE(g.drop_next());
+}
+
+TEST(Gilbert, StationaryLossFormula) {
+    EXPECT_NEAR(GilbertLoss::stationary_loss({0.92, 0.6}), 0.08 / 0.48, 1e-12);
+    EXPECT_NEAR(GilbertLoss::stationary_loss({0.92, 0.7}), 0.08 / 0.38, 1e-12);
+    EXPECT_DOUBLE_EQ(GilbertLoss::stationary_loss({1.0, 1.0}), 0.0);
+}
+
+TEST(Gilbert, MeanBurstLengthFormula) {
+    EXPECT_DOUBLE_EQ(GilbertLoss::mean_burst_length({0.92, 0.6}), 2.5);
+    EXPECT_NEAR(GilbertLoss::mean_burst_length({0.92, 0.7}), 10.0 / 3.0, 1e-12);
+}
+
+TEST(Gilbert, EmpiricalLossMatchesStationary) {
+    const GilbertParams params{0.92, 0.6};
+    GilbertLoss g{params, Rng{42}};
+    constexpr int kN = 200000;
+    int lost = 0;
+    for (int i = 0; i < kN; ++i) {
+        if (g.drop_next()) ++lost;
+    }
+    EXPECT_NEAR(static_cast<double>(lost) / kN,
+                GilbertLoss::stationary_loss(params), 0.01);
+}
+
+TEST(Gilbert, EmpiricalBurstLengthMatchesGeometric) {
+    const GilbertParams params{0.92, 0.7};
+    GilbertLoss g{params, Rng{43}};
+    espread::sim::RunningStats bursts;
+    int current = 0;
+    for (int i = 0; i < 300000; ++i) {
+        if (g.drop_next()) {
+            ++current;
+        } else if (current > 0) {
+            bursts.add(current);
+            current = 0;
+        }
+    }
+    EXPECT_NEAR(bursts.mean(), GilbertLoss::mean_burst_length(params), 0.1);
+}
+
+TEST(Gilbert, LossesAreBurstyNotIndependent) {
+    // With the paper's parameters, P(loss | previous loss) = p_bad = 0.6 is
+    // far above the marginal loss rate (~0.17).
+    GilbertLoss g{GilbertParams{0.92, 0.6}, Rng{44}};
+    int after_loss = 0;
+    int after_loss_lost = 0;
+    bool prev = false;
+    for (int i = 0; i < 200000; ++i) {
+        const bool lost = g.drop_next();
+        if (prev) {
+            ++after_loss;
+            if (lost) ++after_loss_lost;
+        }
+        prev = lost;
+    }
+    const double conditional =
+        static_cast<double>(after_loss_lost) / static_cast<double>(after_loss);
+    EXPECT_NEAR(conditional, 0.6, 0.02);
+}
+
+TEST(Gilbert, DeterministicPerSeed) {
+    GilbertLoss a{GilbertParams{0.9, 0.5}, Rng{7}};
+    GilbertLoss b{GilbertParams{0.9, 0.5}, Rng{7}};
+    for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.drop_next(), b.drop_next());
+}
+
+TEST(Gilbert, RejectsInvalidProbabilities) {
+    EXPECT_THROW(GilbertLoss(GilbertParams{-0.1, 0.5}, Rng{1}), std::invalid_argument);
+    EXPECT_THROW(GilbertLoss(GilbertParams{0.5, 1.5}, Rng{1}), std::invalid_argument);
+    EXPECT_THROW(GilbertLoss(GilbertParams{0.5, 0.5, -0.1, 1.0}, Rng{1}),
+                 std::invalid_argument);
+    EXPECT_THROW(GilbertLoss(GilbertParams{0.5, 0.5, 0.0, 1.1}, Rng{1}),
+                 std::invalid_argument);
+}
+
+// ---- Gilbert–Elliott generalization (per-state drop probabilities) ----
+
+TEST(GilbertElliott, ClassicDefaultsUnchangedByExtension) {
+    // Same seed, classic params: the extended model must produce the exact
+    // same stream (no extra RNG draws for degenerate emissions).
+    GilbertLoss classic{GilbertParams{0.9, 0.5}, Rng{21}};
+    GilbertLoss spelled{GilbertParams{0.9, 0.5, 0.0, 1.0}, Rng{21}};
+    for (int i = 0; i < 2000; ++i) ASSERT_EQ(classic.drop_next(), spelled.drop_next());
+}
+
+TEST(GilbertElliott, GoodStateResidualLoss) {
+    // Never leaves GOOD; drops at the GOOD-state residual rate.
+    const GilbertParams params{1.0, 0.0, 0.05, 1.0};
+    GilbertLoss g{params, Rng{22}};
+    int lost = 0;
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; ++i) {
+        if (g.drop_next()) ++lost;
+    }
+    EXPECT_NEAR(static_cast<double>(lost) / kN, 0.05, 0.005);
+    EXPECT_DOUBLE_EQ(GilbertLoss::stationary_loss(params), 0.05);
+}
+
+TEST(GilbertElliott, PartialBadStateDelivery) {
+    // BAD drops only 80% of packets: the burst structure softens.
+    const GilbertParams params{0.92, 0.6, 0.0, 0.8};
+    GilbertLoss g{params, Rng{23}};
+    constexpr int kN = 200000;
+    int lost = 0;
+    for (int i = 0; i < kN; ++i) {
+        if (g.drop_next()) ++lost;
+    }
+    const double expected = GilbertLoss::stationary_loss(params);
+    EXPECT_NEAR(expected, (0.08 / 0.48) * 0.8, 1e-12);
+    EXPECT_NEAR(static_cast<double>(lost) / kN, expected, 0.01);
+}
+
+TEST(GilbertElliott, StationaryLossMixesBothStates) {
+    const GilbertParams params{0.9, 0.5, 0.01, 0.9};
+    const double pi_bad = 0.1 / 0.6;
+    EXPECT_NEAR(GilbertLoss::stationary_loss(params),
+                pi_bad * 0.9 + (1.0 - pi_bad) * 0.01, 1e-12);
+}
+
+}  // namespace

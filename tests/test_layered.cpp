@@ -1,0 +1,130 @@
+#include "poset/layered.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/burst.hpp"
+
+namespace {
+
+using espread::poset::build_layered_plan;
+using espread::poset::Element;
+using espread::poset::layer_members;
+using espread::poset::LayeredPlan;
+using espread::poset::Poset;
+
+// Same two-GOP MPEG-like fixture as test_poset.cpp.
+Poset mpeg_like() {
+    Poset p{7};
+    p.add_dependency(1, 0);
+    p.add_dependency(1, 2);
+    p.add_dependency(2, 0);
+    p.add_dependency(3, 2);
+    p.add_dependency(3, 4);
+    p.add_dependency(5, 4);
+    p.add_dependency(5, 6);
+    p.add_dependency(6, 4);
+    return p;
+}
+
+TEST(LayerMembers, AnchorsByHeightThenNonAnchors) {
+    const auto layers = layer_members(mpeg_like());
+    ASSERT_EQ(layers.size(), 3u);
+    EXPECT_EQ(layers[0], (std::vector<Element>{0, 4}));  // I frames
+    EXPECT_EQ(layers[1], (std::vector<Element>{2, 6}));  // P frames
+    EXPECT_EQ(layers[2], (std::vector<Element>{1, 3, 5}));  // B frames
+}
+
+TEST(LayerMembers, LayerCountEqualsLongestChain) {
+    const Poset p = mpeg_like();
+    EXPECT_EQ(layer_members(p).size(), p.longest_chain_length());
+}
+
+TEST(LayerMembers, EachLayerIsAnAntichain) {
+    const Poset p = mpeg_like();
+    for (const auto& layer : layer_members(p)) {
+        EXPECT_TRUE(p.is_antichain(layer));
+    }
+}
+
+TEST(LayerMembers, DependencyFreeStreamIsOneLayer) {
+    // MJPEG: the whole window is a single non-critical layer (the paper's
+    // "protocol simplifies to just a scrambling of frames").
+    const Poset p{6};
+    const auto layers = layer_members(p);
+    ASSERT_EQ(layers.size(), 1u);
+    EXPECT_EQ(layers[0].size(), 6u);
+}
+
+TEST(LayerMembers, EmptyPoset) {
+    EXPECT_TRUE(layer_members(Poset{0}).empty());
+}
+
+TEST(LayeredPlan, CriticalityFollowsAnchors) {
+    const LayeredPlan plan = build_layered_plan(mpeg_like(), 2);
+    ASSERT_EQ(plan.layers.size(), 3u);
+    EXPECT_TRUE(plan.layers[0].critical);
+    EXPECT_TRUE(plan.layers[1].critical);
+    EXPECT_FALSE(plan.layers[2].critical);
+    EXPECT_EQ(plan.num_critical(), 2u);
+}
+
+TEST(LayeredPlan, BoundsPerLayerClass) {
+    const LayeredPlan plan = build_layered_plan(mpeg_like(), 2);
+    EXPECT_EQ(plan.layers[0].bound, 1u);  // ceil(2/2): fixed critical bound
+    EXPECT_EQ(plan.layers[1].bound, 1u);
+    EXPECT_EQ(plan.layers[2].bound, 2u);  // adaptive bound, fits layer size 3
+    const LayeredPlan big = build_layered_plan(mpeg_like(), 50);
+    EXPECT_EQ(big.layers[2].bound, 3u);  // clamped to layer size
+}
+
+TEST(LayeredPlan, PermutationsMatchLayerSizes) {
+    const LayeredPlan plan = build_layered_plan(mpeg_like(), 2);
+    for (const auto& layer : plan.layers) {
+        EXPECT_EQ(layer.perm.size(), layer.members.size());
+        EXPECT_EQ(layer.clf_guarantee,
+                  espread::worst_case_clf(layer.perm, layer.bound));
+    }
+}
+
+TEST(LayeredPlan, FlattenedIsALinearExtension) {
+    const Poset p = mpeg_like();
+    const LayeredPlan plan = build_layered_plan(p, 2);
+    const std::vector<Element> order = plan.flattened();
+    EXPECT_TRUE(p.is_linear_extension(order));
+}
+
+TEST(LayeredPlan, TransmissionAppliesWithinLayerPermutation) {
+    const LayeredPlan plan = build_layered_plan(mpeg_like(), 2);
+    for (const auto& layer : plan.layers) {
+        const auto tx = layer.transmission();
+        ASSERT_EQ(tx.size(), layer.members.size());
+        // Same multiset, permuted per layer.perm.
+        auto sorted = tx;
+        std::sort(sorted.begin(), sorted.end());
+        EXPECT_EQ(sorted, layer.members);
+        for (std::size_t i = 0; i < tx.size(); ++i) {
+            EXPECT_EQ(tx[i], layer.members[layer.perm[i]]);
+        }
+    }
+}
+
+TEST(LayeredPlan, LargerBufferMoreGopsStillLayersCorrectly) {
+    // 4 GOPs of I,P,B: I_k = 3k, P_k = 3k+1 (needs I_k), B_k = 3k+2 (needs
+    // I_k and P_k).
+    Poset p{12};
+    for (std::size_t k = 0; k < 4; ++k) {
+        p.add_dependency(3 * k + 1, 3 * k);
+        p.add_dependency(3 * k + 2, 3 * k);
+        p.add_dependency(3 * k + 2, 3 * k + 1);
+    }
+    const LayeredPlan plan = build_layered_plan(p, 3);
+    ASSERT_EQ(plan.layers.size(), 3u);
+    EXPECT_EQ(plan.layers[0].members, (std::vector<Element>{0, 3, 6, 9}));
+    EXPECT_EQ(plan.layers[1].members, (std::vector<Element>{1, 4, 7, 10}));
+    EXPECT_EQ(plan.layers[2].members, (std::vector<Element>{2, 5, 8, 11}));
+    EXPECT_TRUE(p.is_linear_extension(plan.flattened()));
+}
+
+}  // namespace

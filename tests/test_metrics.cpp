@@ -1,0 +1,85 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using espread::aggregate_loss_count;
+using espread::consecutive_loss;
+using espread::ContinuityMeter;
+using espread::ContinuityReport;
+using espread::loss_runs;
+using espread::LossMask;
+using espread::measure_continuity;
+
+// Paper Fig. 1: two streams, both with aggregate loss 2/4, but stream 1 has
+// its losses back-to-back (CLF 2) while stream 2 spreads them (CLF 1).
+TEST(Metrics, Figure1Streams) {
+    const LossMask stream1{true, false, false, true};
+    const LossMask stream2{false, true, false, true};
+    const ContinuityReport r1 = measure_continuity(stream1);
+    const ContinuityReport r2 = measure_continuity(stream2);
+    EXPECT_EQ(r1.unit_losses, 2u);
+    EXPECT_EQ(r2.unit_losses, 2u);
+    EXPECT_DOUBLE_EQ(r1.alf, 0.5);
+    EXPECT_DOUBLE_EQ(r2.alf, 0.5);
+    EXPECT_EQ(r1.clf, 2u);
+    EXPECT_EQ(r2.clf, 1u);
+}
+
+TEST(Metrics, LossRunsEnumeratesMaximalRuns) {
+    EXPECT_EQ(loss_runs({true, false, false, true, false}),
+              (std::vector<std::size_t>{2, 1}));
+    EXPECT_EQ(loss_runs({false, false, false}), (std::vector<std::size_t>{3}));
+    EXPECT_TRUE(loss_runs({true, true}).empty());
+    EXPECT_TRUE(loss_runs({}).empty());
+}
+
+TEST(Metrics, ConsecutiveLossEdgeCases) {
+    EXPECT_EQ(consecutive_loss({}), 0u);
+    EXPECT_EQ(consecutive_loss({true, true, true}), 0u);
+    EXPECT_EQ(consecutive_loss({false, false, false}), 3u);
+    EXPECT_EQ(consecutive_loss({false, true, false, false}), 2u);
+}
+
+TEST(Metrics, AggregateLossCounts) {
+    EXPECT_EQ(aggregate_loss_count({}), 0u);
+    EXPECT_EQ(aggregate_loss_count({false, true, false}), 2u);
+}
+
+TEST(Metrics, EmptyMaskReport) {
+    const ContinuityReport r = measure_continuity({});
+    EXPECT_EQ(r.slots, 0u);
+    EXPECT_EQ(r.clf, 0u);
+    EXPECT_DOUBLE_EQ(r.alf, 0.0);
+}
+
+TEST(ContinuityMeter, TracksPerWindowSeries) {
+    ContinuityMeter m;
+    m.add_window({false, false, true, true});  // CLF 2
+    m.add_window({true, false, true, false});  // CLF 1
+    m.add_window({true, true, true, true});    // CLF 0
+    ASSERT_EQ(m.windows(), 3u);
+    EXPECT_EQ(m.clf_series().ys(), (std::vector<double>{2, 1, 0}));
+    EXPECT_DOUBLE_EQ(m.clf_stats().mean(), 1.0);
+}
+
+TEST(ContinuityMeter, WindowBoundariesDoNotMergeRuns) {
+    ContinuityMeter m;
+    // Losses at the tail of window 1 and head of window 2 stay separate.
+    m.add_window({true, true, false, false});
+    m.add_window({false, false, true, true});
+    EXPECT_EQ(m.total().clf, 2u);
+    EXPECT_EQ(m.total().unit_losses, 4u);
+    EXPECT_EQ(m.total().slots, 8u);
+    EXPECT_DOUBLE_EQ(m.total().alf, 0.5);
+}
+
+TEST(ContinuityMeter, TotalsTrackWorstWindowClf) {
+    ContinuityMeter m;
+    m.add_window({false, true, true, true});
+    m.add_window({true, false, false, false});
+    EXPECT_EQ(m.total().clf, 3u);
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+#include "media/mpeg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "poset/layered.hpp"
+
+namespace {
+
+using espread::media::anchor_frames;
+using espread::media::build_dependency_poset;
+using espread::media::FrameType;
+using espread::media::GopBoundary;
+using espread::media::GopPattern;
+using espread::media::window_frames;
+using espread::poset::Poset;
+
+TEST(WindowFrames, EnumeratesGopCoordinates) {
+    const GopPattern g = GopPattern::parse("IBBP");
+    const auto frames = window_frames(g, 2);
+    ASSERT_EQ(frames.size(), 8u);
+    EXPECT_EQ(frames[0].type, FrameType::kI);
+    EXPECT_EQ(frames[3].type, FrameType::kP);
+    EXPECT_EQ(frames[4].type, FrameType::kI);
+    EXPECT_EQ(frames[4].gop, 1u);
+    EXPECT_EQ(frames[4].pos_in_gop, 0u);
+    EXPECT_EQ(frames[7].index, 7u);
+}
+
+TEST(DependencyPoset, PFramesChainOffAnchors) {
+    // IBBPBB: P(3) depends on I(0); B(1),B(2) on I(0) and P(3).
+    const Poset p = build_dependency_poset(GopPattern::parse("IBBPBB"), 1);
+    EXPECT_TRUE(p.depends_on(3, 0));
+    EXPECT_TRUE(p.depends_on(1, 0));
+    EXPECT_TRUE(p.depends_on(1, 3));
+    EXPECT_TRUE(p.depends_on(2, 3));
+    // Trailing Bs (4, 5) have no forward anchor in a single-GOP window.
+    EXPECT_TRUE(p.depends_on(4, 3));
+    EXPECT_FALSE(p.depends_on(4, 0) && p.covers(4, 0));  // via P only
+    EXPECT_EQ(p.direct_prerequisites(4), (std::vector<std::size_t>{3}));
+}
+
+TEST(DependencyPoset, MultiPFramesChainTransitively) {
+    // IBBPBBPBB: P(6) depends on P(3) depends on I(0).
+    const Poset p = build_dependency_poset(GopPattern::parse("IBBPBBPBB"), 1);
+    EXPECT_EQ(p.direct_prerequisites(6), (std::vector<std::size_t>{3}));
+    EXPECT_TRUE(p.depends_on(6, 0));
+    EXPECT_EQ(p.longest_chain_length(), 4u);  // I < P1 < P2 < B
+}
+
+TEST(DependencyPoset, OpenGopCrossesBoundary) {
+    // Two GOPs of IBBP: trailing Bs?  Pattern IBBP has no trailing B; use
+    // IPBB so positions 2,3 trail the last anchor P(1).
+    const GopPattern g = GopPattern::parse("IPBB");
+    const Poset open = build_dependency_poset(g, 2, GopBoundary::kOpen);
+    // Trailing B(2) of GOP 0 depends on next GOP's I (index 4).
+    EXPECT_TRUE(open.depends_on(2, 4));
+    EXPECT_TRUE(open.depends_on(3, 4));
+    // Final GOP's trailing Bs have no successor GOP.
+    EXPECT_EQ(open.direct_prerequisites(6), (std::vector<std::size_t>{5}));
+
+    const Poset closed = build_dependency_poset(g, 2, GopBoundary::kClosed);
+    EXPECT_FALSE(closed.depends_on(2, 4));
+    EXPECT_FALSE(closed.depends_on(3, 4));
+}
+
+TEST(DependencyPoset, AnchorsAreExactlyIAndP) {
+    const GopPattern g = GopPattern::standard(12);
+    const Poset p = build_dependency_poset(g, 2);
+    const auto anchors = p.anchors();
+    EXPECT_EQ(anchors, anchor_frames(g, 2));
+    EXPECT_EQ(anchors.size(), 8u);  // 4 anchors per GOP x 2
+}
+
+TEST(DependencyPoset, LayeringMatchesFigure3) {
+    // W = 2 GOPs of GOP-12: layers I, P1, P2, P3, then all 16 B frames.
+    const GopPattern g = GopPattern::standard(12);
+    const Poset p = build_dependency_poset(g, 2);
+    const auto layers = espread::poset::layer_members(p);
+    ASSERT_EQ(layers.size(), 5u);
+    EXPECT_EQ(layers[0], (std::vector<std::size_t>{0, 12}));    // I frames
+    EXPECT_EQ(layers[1], (std::vector<std::size_t>{3, 15}));    // first P
+    EXPECT_EQ(layers[2], (std::vector<std::size_t>{6, 18}));    // second P
+    EXPECT_EQ(layers[3], (std::vector<std::size_t>{9, 21}));    // third P
+    EXPECT_EQ(layers[4].size(), 16u);                           // all B frames
+}
+
+TEST(DependencyPoset, LinearExtensionSendsAnchorsBeforeDependents) {
+    const GopPattern g = GopPattern::standard(12);
+    const Poset p = build_dependency_poset(g, 2);
+    const auto plan = espread::poset::build_layered_plan(p, 4);
+    EXPECT_TRUE(p.is_linear_extension(plan.flattened()));
+}
+
+TEST(DependencyPoset, SingleFrameGop) {
+    // GOP "I": all frames independent anchors?  No frame depends on any
+    // other, so there are no anchors at all and one non-critical layer.
+    const Poset p = build_dependency_poset(GopPattern::parse("I"), 3);
+    EXPECT_TRUE(p.anchors().empty());
+    EXPECT_EQ(espread::poset::layer_members(p).size(), 1u);
+}
+
+}  // namespace

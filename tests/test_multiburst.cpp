@@ -1,0 +1,131 @@
+#include "analysis/multiburst.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/burst.hpp"
+#include "core/cpo.hpp"
+#include "core/interleaver.hpp"
+
+namespace {
+
+using espread::cyclic_stride_order;
+using espread::Permutation;
+using espread::residue_class_order;
+using espread::worst_case_clf;
+using espread::analysis::adjacency_exposure;
+using espread::analysis::gilbert_clf;
+using espread::analysis::min_adjacent_distance;
+using espread::analysis::worst_case_clf_two_bursts;
+
+TEST(TwoBursts, DegenerateInputs) {
+    EXPECT_EQ(worst_case_clf_two_bursts(Permutation::identity(8), 0), 0u);
+    EXPECT_EQ(worst_case_clf_two_bursts(Permutation{std::vector<std::size_t>{}}, 3), 0u);
+}
+
+TEST(TwoBursts, AtLeastSingleBurstWorstCase) {
+    for (std::size_t stride : {2u, 3u, 5u}) {
+        const Permutation p = residue_class_order(17, stride);
+        for (std::size_t b = 1; b <= 8; ++b) {
+            EXPECT_GE(worst_case_clf_two_bursts(p, b), worst_case_clf(p, b))
+                << "stride=" << stride << " b=" << b;
+        }
+    }
+}
+
+TEST(TwoBursts, IdentityStacksBothBursts) {
+    // Two adjacent-in-playback bursts of b merge into a 2b run when the
+    // identity order places them back to back... they are disjoint in
+    // transmission, but in playback the runs abut: slots [0,b) and [b,2b).
+    const Permutation id = Permutation::identity(12);
+    EXPECT_EQ(worst_case_clf_two_bursts(id, 3), 6u);
+    EXPECT_EQ(worst_case_clf_two_bursts(id, 6), 12u);
+}
+
+TEST(TwoBursts, ExposesFragilityOfStrideTwo) {
+    // residue(16, 2) guarantees CLF 1 against one burst <= 8, but two
+    // bursts (one per residue class) create adjacent playback losses.
+    const Permutation p = residue_class_order(16, 2);
+    EXPECT_EQ(worst_case_clf(p, 4), 1u);
+    EXPECT_GE(worst_case_clf_two_bursts(p, 4), 2u);
+}
+
+TEST(TwoBursts, WholeWindowCap) {
+    const Permutation p = residue_class_order(10, 3);
+    EXPECT_EQ(worst_case_clf_two_bursts(p, 5), 10u);  // 2x5 = everything
+}
+
+TEST(AdjacencyExposure, CountsPairsPerWireDistance) {
+    // identity: all n-1 adjacent pairs at distance 1.
+    const auto e = adjacency_exposure(Permutation::identity(6));
+    EXPECT_EQ(e[1], 5u);
+    EXPECT_EQ(e[2], 0u);
+    // residue(6, 2): classes {0,2,4},{1,3,5}; pair (x, x+1) sits 3 apart
+    // except pairs within a class... x=0: slots 0 and 3 -> d 3; x=1: slots
+    // 3 and 1 -> 2; x=2: 1,4 -> 3; x=3: 4,2 -> 2; x=4: 2,5 -> 3.
+    const auto e2 = adjacency_exposure(residue_class_order(6, 2));
+    EXPECT_EQ(e2[2], 2u);
+    EXPECT_EQ(e2[3], 3u);
+    EXPECT_EQ(e2[1], 0u);
+}
+
+TEST(AdjacencyExposure, SumsToNMinusOne) {
+    for (std::size_t stride : {2u, 3u, 4u}) {
+        const auto e = adjacency_exposure(residue_class_order(13, stride));
+        std::size_t total = 0;
+        for (const auto c : e) total += c;
+        EXPECT_EQ(total, 12u);
+    }
+}
+
+TEST(MinAdjacentDistance, MatchesSingleBurstTolerance) {
+    // A permutation tolerates any single burst of length d with CLF 1 iff
+    // every playback-adjacent pair is at wire distance > d... i.e. iff
+    // min_adjacent_distance > d.
+    for (std::size_t stride : {3u, 5u, 7u}) {
+        const Permutation p = cyclic_stride_order(17, stride);
+        const std::size_t d = min_adjacent_distance(p);
+        EXPECT_EQ(worst_case_clf(p, d), 1u) << "stride " << stride;
+        EXPECT_GE(worst_case_clf(p, d + 1), 2u) << "stride " << stride;
+    }
+}
+
+TEST(MinAdjacentDistance, TrivialSizes) {
+    EXPECT_EQ(min_adjacent_distance(Permutation::identity(1)), 1u);
+    EXPECT_EQ(min_adjacent_distance(Permutation::identity(2)), 1u);
+}
+
+TEST(GilbertClf, LosslessChannelGivesZeroClf) {
+    const auto r = gilbert_clf(Permutation::identity(24), {1.0, 0.0}, 50,
+                               espread::sim::Rng{1});
+    EXPECT_EQ(r.clf.count(), 50u);
+    EXPECT_DOUBLE_EQ(r.clf.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(r.alf, 0.0);
+}
+
+TEST(GilbertClf, AlfTracksStationaryLoss) {
+    const espread::net::GilbertParams params{0.92, 0.6};
+    const auto r = gilbert_clf(Permutation::identity(24), params, 5000,
+                               espread::sim::Rng{2});
+    EXPECT_NEAR(r.alf, espread::net::GilbertLoss::stationary_loss(params), 0.01);
+}
+
+TEST(GilbertClf, SpreadingBeatsIdentityUnderBurstyLoss) {
+    const espread::net::GilbertParams params{0.92, 0.6};
+    const std::size_t n = 24;
+    const auto id = gilbert_clf(Permutation::identity(n), params, 3000,
+                                espread::sim::Rng{3});
+    const auto spread = gilbert_clf(espread::calculate_permutation(n, 4).perm,
+                                    params, 3000, espread::sim::Rng{3});
+    EXPECT_LT(spread.clf.mean(), id.clf.mean());
+    EXPECT_NEAR(spread.alf, id.alf, 0.02);  // bandwidth/loss-rate neutral
+}
+
+TEST(GilbertClf, DeterministicPerSeed) {
+    const Permutation p = residue_class_order(16, 3);
+    const auto a = gilbert_clf(p, {0.9, 0.5}, 100, espread::sim::Rng{7});
+    const auto b = gilbert_clf(p, {0.9, 0.5}, 100, espread::sim::Rng{7});
+    EXPECT_DOUBLE_EQ(a.clf.mean(), b.clf.mean());
+    EXPECT_DOUBLE_EQ(a.alf, b.alf);
+}
+
+}  // namespace

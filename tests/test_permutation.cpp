@@ -1,0 +1,96 @@
+#include "core/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/interleaver.hpp"
+
+namespace {
+
+using espread::Permutation;
+
+TEST(Permutation, IdentityMapsEachSlotToItself) {
+    const Permutation p = Permutation::identity(5);
+    EXPECT_EQ(p.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(p.at(i), i);
+    EXPECT_TRUE(p.is_identity());
+}
+
+TEST(Permutation, DefaultConstructedIsEmpty) {
+    const Permutation p;
+    EXPECT_EQ(p.size(), 0u);
+    EXPECT_TRUE(p.is_identity());
+}
+
+TEST(Permutation, RejectsDuplicates) {
+    EXPECT_THROW(Permutation({0, 1, 1}), std::invalid_argument);
+}
+
+TEST(Permutation, RejectsOutOfRangeValues) {
+    EXPECT_THROW(Permutation({0, 1, 3}), std::invalid_argument);
+}
+
+TEST(Permutation, AtThrowsOutOfRange) {
+    const Permutation p = Permutation::identity(3);
+    EXPECT_THROW(p.at(3), std::out_of_range);
+}
+
+TEST(Permutation, InverseRoundTrips) {
+    const Permutation p({2, 0, 3, 1});
+    const Permutation inv = p.inverse();
+    EXPECT_TRUE(p.compose(inv).is_identity());
+    EXPECT_TRUE(inv.compose(p).is_identity());
+    for (std::size_t slot = 0; slot < p.size(); ++slot) {
+        EXPECT_EQ(inv.at(p.at(slot)), slot);
+    }
+}
+
+TEST(Permutation, ComposeAppliesRightThenLeft) {
+    const Permutation f({1, 2, 0});
+    const Permutation g({2, 0, 1});
+    const Permutation fg = f.compose(g);
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(fg.at(i), f.at(g.at(i)));
+}
+
+TEST(Permutation, ComposeSizeMismatchThrows) {
+    EXPECT_THROW(Permutation::identity(3).compose(Permutation::identity(4)),
+                 std::invalid_argument);
+}
+
+TEST(Permutation, ApplyReordersIntoTransmissionOrder) {
+    const Permutation p({2, 0, 1});
+    const std::vector<std::string> items{"a", "b", "c"};
+    const auto tx = p.apply(items);
+    EXPECT_EQ(tx, (std::vector<std::string>{"c", "a", "b"}));
+}
+
+TEST(Permutation, UnapplyInvertsApply) {
+    const Permutation p({3, 1, 0, 2});
+    const std::vector<int> items{10, 20, 30, 40};
+    EXPECT_EQ(p.unapply(p.apply(items)), items);
+    EXPECT_EQ(p.apply(p.unapply(items)), items);
+}
+
+TEST(Permutation, ApplySizeMismatchThrows) {
+    const Permutation p = Permutation::identity(3);
+    const std::vector<int> wrong{1, 2};
+    EXPECT_THROW(p.apply(wrong), std::invalid_argument);
+    EXPECT_THROW(p.unapply(wrong), std::invalid_argument);
+}
+
+TEST(Permutation, EqualityComparesImages) {
+    EXPECT_EQ(Permutation({0, 1}), Permutation({0, 1}));
+    EXPECT_NE(Permutation({0, 1}), Permutation({1, 0}));
+}
+
+TEST(Permutation, Table1StringMatchesPaper) {
+    // Paper Table 1, permuted row: "01 06 11 16 04 09 14 02 07 12 17 05 10 15 03 08 13"
+    const Permutation p = espread::cyclic_stride_order(17, 5, 0);
+    EXPECT_EQ(p.to_string_one_based(),
+              "01 06 11 16 04 09 14 02 07 12 17 05 10 15 03 08 13");
+}
+
+}  // namespace

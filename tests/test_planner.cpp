@@ -1,0 +1,168 @@
+#include "protocol/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace {
+
+using espread::proto::Planner;
+using espread::proto::Scheme;
+using espread::proto::SessionConfig;
+using espread::proto::StreamKind;
+using espread::proto::WindowPlan;
+
+SessionConfig mpeg_config(Scheme scheme, std::size_t gops = 2) {
+    SessionConfig cfg;
+    cfg.stream.kind = StreamKind::kMpeg;
+    cfg.stream.movie = "Jurassic Park";  // GOP 12 @ 24 fps
+    cfg.gops_per_window = gops;
+    cfg.scheme = scheme;
+    return cfg;
+}
+
+// Every plan must enumerate each window frame exactly once.
+void expect_complete_order(const Planner& planner, const WindowPlan& plan) {
+    std::set<std::size_t> seen;
+    for (const auto& e : plan.order) seen.insert(e.local_frame);
+    EXPECT_EQ(seen.size(), planner.window_ldus());
+    EXPECT_EQ(plan.order.size(), planner.window_ldus());
+}
+
+TEST(Planner, MpegLayerStructure) {
+    SessionConfig cfg = mpeg_config(Scheme::kLayeredSpread);
+    Planner planner{cfg};
+    EXPECT_EQ(planner.window_ldus(), 24u);
+    // Figure 3: layers I, P1, P2, P3, B.
+    EXPECT_EQ(planner.layer_sizes(),
+              (std::vector<std::size_t>{2, 2, 2, 2, 16}));
+    EXPECT_EQ(planner.layer_critical(),
+              (std::vector<bool>{true, true, true, true, false}));
+    EXPECT_EQ(planner.noncritical_size(), 16u);
+}
+
+TEST(Planner, InOrderIsMpegCodingOrder) {
+    Planner planner{mpeg_config(Scheme::kInOrder)};
+    EXPECT_EQ(planner.layer_sizes(), (std::vector<std::size_t>{24}));
+    EXPECT_EQ(planner.layer_critical(), (std::vector<bool>{false}));
+    EXPECT_EQ(planner.noncritical_size(), 24u);
+    const WindowPlan& plan = planner.plan(4);
+    expect_complete_order(planner, plan);
+    // Coding order: each frame follows its prerequisites (I0 P1 B B P2 ...).
+    std::vector<std::size_t> wire;
+    for (const auto& e : plan.order) wire.push_back(e.local_frame);
+    const std::vector<std::size_t> head{0, 3, 1, 2, 6, 4, 5, 9, 7, 8};
+    ASSERT_GE(wire.size(), head.size());
+    EXPECT_TRUE(std::equal(head.begin(), head.end(), wire.begin()));
+    EXPECT_TRUE(planner.dependency_poset().is_linear_extension(wire));
+    // Anchors are still marked critical per frame (retransmission targets).
+    EXPECT_TRUE(plan.order[0].critical);   // I0
+    EXPECT_TRUE(plan.order[1].critical);   // P1
+    EXPECT_FALSE(plan.order[2].critical);  // B
+}
+
+TEST(Planner, SpreadPlanRespectsLayerOrderAndIsComplete) {
+    Planner planner{mpeg_config(Scheme::kLayeredSpread)};
+    const WindowPlan& plan = planner.plan(4);
+    expect_complete_order(planner, plan);
+    // Layers appear in order 0,1,2,... along the wire.
+    std::size_t prev_layer = 0;
+    for (const auto& e : plan.order) {
+        EXPECT_GE(e.layer, prev_layer);
+        prev_layer = e.layer;
+    }
+    // The critical layers carry the anchors.
+    for (const auto& e : plan.order) {
+        if (e.layer < 4) {
+            EXPECT_TRUE(e.critical);
+        } else {
+            EXPECT_FALSE(e.critical);
+        }
+    }
+}
+
+TEST(Planner, SpreadScramblesNoncriticalLayer) {
+    Planner planner{mpeg_config(Scheme::kLayeredSpread)};
+    const WindowPlan& plan = planner.plan(4);
+    // Extract the B layer's frame sequence; it must not be ascending.
+    std::vector<std::size_t> b_frames;
+    for (const auto& e : plan.order) {
+        if (e.layer == 4) b_frames.push_back(e.local_frame);
+    }
+    ASSERT_EQ(b_frames.size(), 16u);
+    EXPECT_FALSE(std::is_sorted(b_frames.begin(), b_frames.end()));
+}
+
+TEST(Planner, NoScrambleKeepsLayersAscending) {
+    Planner planner{mpeg_config(Scheme::kLayeredNoScramble)};
+    const WindowPlan& plan = planner.plan(4);
+    std::vector<std::size_t> b_frames;
+    for (const auto& e : plan.order) {
+        if (e.layer == 4) b_frames.push_back(e.local_frame);
+    }
+    EXPECT_TRUE(std::is_sorted(b_frames.begin(), b_frames.end()));
+}
+
+TEST(Planner, IboUsesInverseBinaryOrderOnBLayer) {
+    Planner planner{mpeg_config(Scheme::kLayeredIbo)};
+    const WindowPlan& plan = planner.plan(4);
+    std::vector<std::size_t> b_frames;
+    for (const auto& e : plan.order) {
+        if (e.layer == 4) b_frames.push_back(e.local_frame);
+    }
+    ASSERT_EQ(b_frames.size(), 16u);
+    EXPECT_FALSE(std::is_sorted(b_frames.begin(), b_frames.end()));
+    // IBO of 16 starts with positions 0, 8, 4, 12 of the member list.
+    std::vector<std::size_t> members = b_frames;
+    std::sort(members.begin(), members.end());
+    EXPECT_EQ(b_frames[0], members[0]);
+    EXPECT_EQ(b_frames[1], members[8]);
+    EXPECT_EQ(b_frames[2], members[4]);
+    EXPECT_EQ(b_frames[3], members[12]);
+}
+
+TEST(Planner, PlanCacheReturnsSameObject) {
+    Planner planner{mpeg_config(Scheme::kLayeredSpread)};
+    const WindowPlan& a = planner.plan(4);
+    const WindowPlan& b = planner.plan(4);
+    EXPECT_EQ(&a, &b);
+    const WindowPlan& c = planner.plan(2);
+    EXPECT_NE(&a, &c);
+    EXPECT_EQ(c.noncritical_bound, 2u);
+}
+
+TEST(Planner, MjpegIsOneNoncriticalLayer) {
+    SessionConfig cfg;
+    cfg.stream.kind = StreamKind::kMjpeg;
+    cfg.stream.ldus_per_window = 17;
+    cfg.scheme = Scheme::kLayeredSpread;
+    Planner planner{cfg};
+    EXPECT_EQ(planner.layer_sizes(), (std::vector<std::size_t>{17}));
+    EXPECT_EQ(planner.layer_critical(), (std::vector<bool>{false}));
+    const WindowPlan& plan = planner.plan(7);
+    expect_complete_order(planner, plan);
+    // With b = 7 and n = 17 the Table 1 guarantee applies: the wire order
+    // scrambles.
+    std::vector<std::size_t> frames;
+    for (const auto& e : plan.order) frames.push_back(e.local_frame);
+    EXPECT_FALSE(std::is_sorted(frames.begin(), frames.end()));
+}
+
+TEST(Planner, PrerequisitesExposedForClient) {
+    Planner planner{mpeg_config(Scheme::kLayeredSpread)};
+    const auto& prereqs = planner.prerequisites();
+    ASSERT_EQ(prereqs.size(), 24u);
+    EXPECT_TRUE(prereqs[0].empty());                               // I frame
+    EXPECT_EQ(prereqs[3], (std::vector<std::size_t>{0}));          // P1 <- I
+    EXPECT_EQ(prereqs[1], (std::vector<std::size_t>{0, 3}));       // B <- I, P1
+    EXPECT_EQ(prereqs[12], (std::vector<std::size_t>{}));          // second I
+}
+
+TEST(Planner, BoundClampedToLayerSize) {
+    Planner planner{mpeg_config(Scheme::kLayeredSpread)};
+    const WindowPlan& plan = planner.plan(1000);
+    expect_complete_order(planner, plan);  // no crash; bound clamped inside
+}
+
+}  // namespace

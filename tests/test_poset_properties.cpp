@@ -1,0 +1,134 @@
+// Randomized property tests for the poset machinery: random DAGs must
+// satisfy the order axioms, Mirsky's theorem, and the layered-plan
+// contracts regardless of shape.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "poset/layered.hpp"
+#include "poset/poset.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using espread::poset::build_layered_plan;
+using espread::poset::Element;
+using espread::poset::layer_members;
+using espread::poset::Poset;
+
+/// Random DAG on n elements: each pair (i, j) with i < j gets an edge
+/// "j depends on i" with probability p.  Edges always point from higher to
+/// lower index, so the result is acyclic by construction.
+Poset random_poset(std::size_t n, double p, espread::sim::Rng& rng) {
+    Poset poset{n};
+    for (std::size_t j = 1; j < n; ++j) {
+        for (std::size_t i = 0; i < j; ++i) {
+            if (rng.bernoulli(p)) poset.add_dependency(j, i);
+        }
+    }
+    return poset;
+}
+
+class RandomPosetSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(RandomPosetSweep, OrderAxiomsHold) {
+    const auto [seed, density] = GetParam();
+    espread::sim::Rng rng{static_cast<std::uint64_t>(seed)};
+    const Poset p = random_poset(12, density, rng);
+    for (Element x = 0; x < p.size(); ++x) {
+        EXPECT_TRUE(p.leq(x, x));                 // reflexivity
+        EXPECT_FALSE(p.depends_on(x, x));         // irreflexive strict part
+        for (Element y = 0; y < p.size(); ++y) {
+            if (x != y && p.depends_on(x, y)) {
+                EXPECT_FALSE(p.depends_on(y, x))  // antisymmetry
+                    << x << " <-> " << y;
+            }
+            for (Element z = 0; z < p.size(); ++z) {
+                if (p.depends_on(x, y) && p.depends_on(y, z)) {
+                    EXPECT_TRUE(p.depends_on(x, z))  // transitivity
+                        << x << "<" << y << "<" << z;
+                }
+            }
+        }
+    }
+}
+
+TEST_P(RandomPosetSweep, MirskyAndLinearExtension) {
+    const auto [seed, density] = GetParam();
+    espread::sim::Rng rng{static_cast<std::uint64_t>(seed) + 100};
+    const Poset p = random_poset(14, density, rng);
+
+    // Antichain decomposition: valid layers, minimal count (Mirsky).
+    const auto layers = p.antichain_decomposition();
+    std::size_t total = 0;
+    for (const auto& layer : layers) {
+        EXPECT_TRUE(p.is_antichain(layer));
+        total += layer.size();
+    }
+    EXPECT_EQ(total, p.size());
+    EXPECT_EQ(layers.size(), p.longest_chain_length());
+
+    // Longest chain witness really is a chain of that length.
+    const auto chain = p.longest_chain();
+    EXPECT_EQ(chain.size(), p.longest_chain_length());
+    EXPECT_TRUE(p.is_chain(chain));
+
+    // The canonical linear extension is valid.
+    EXPECT_TRUE(p.is_linear_extension(p.linear_extension()));
+}
+
+TEST_P(RandomPosetSweep, LayeredPlanContracts) {
+    const auto [seed, density] = GetParam();
+    espread::sim::Rng rng{static_cast<std::uint64_t>(seed) + 200};
+    const Poset p = random_poset(14, density, rng);
+
+    const auto members = layer_members(p);
+    std::size_t total = 0;
+    for (const auto& layer : members) {
+        EXPECT_FALSE(layer.empty());
+        EXPECT_TRUE(p.is_antichain(layer));
+        total += layer.size();
+    }
+    EXPECT_EQ(total, p.size());
+
+    const auto plan = build_layered_plan(p, 3);
+    EXPECT_TRUE(p.is_linear_extension(plan.flattened()));
+    // Critical layers hold anchors; the non-anchors all land in
+    // non-critical layers.
+    for (const auto& layer : plan.layers) {
+        if (!layer.critical) continue;
+        for (const Element e : layer.members) {
+            EXPECT_TRUE(p.is_anchor(e));
+        }
+    }
+    std::size_t noncritical = 0;
+    for (const auto& layer : plan.layers) {
+        if (!layer.critical) noncritical += layer.members.size();
+    }
+    EXPECT_GE(noncritical, p.non_anchors().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, RandomPosetSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(0.0, 0.1, 0.3, 0.7)));
+
+// H.261 has no B frames — the dependency structure is a pure P chain (the
+// paper's §3.3 names it alongside MPEG).  The layering degenerates to one
+// singleton layer per frame except the final P, which is the only
+// non-anchor.
+TEST(H261, ChainLayering) {
+    Poset p{6};
+    for (Element f = 1; f < 6; ++f) p.add_dependency(f, f - 1);
+    const auto layers = layer_members(p);
+    ASSERT_EQ(layers.size(), 6u);
+    for (std::size_t l = 0; l < 6; ++l) {
+        EXPECT_EQ(layers[l], (std::vector<Element>{l}));
+    }
+    const auto plan = build_layered_plan(p, 2);
+    EXPECT_EQ(plan.num_critical(), 5u);  // all but the last frame
+    EXPECT_TRUE(p.is_linear_extension(plan.flattened()));
+}
+
+}  // namespace

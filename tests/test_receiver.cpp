@@ -1,0 +1,184 @@
+#include "protocol/receiver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using espread::proto::DataPacket;
+using espread::proto::Receiver;
+using espread::proto::WindowOutcome;
+using espread::proto::WindowTrailer;
+
+DataPacket packet(std::size_t window, std::size_t frame_index, std::size_t layer,
+                  std::size_t tx_pos, std::size_t fragment = 0,
+                  std::size_t num_fragments = 1) {
+    DataPacket p;
+    p.window = window;
+    p.frame_index = frame_index;
+    p.layer = layer;
+    p.tx_pos = tx_pos;
+    p.fragment = fragment;
+    p.num_fragments = num_fragments;
+    return p;
+}
+
+WindowTrailer trailer(std::size_t window, std::vector<std::size_t> sent) {
+    WindowTrailer t;
+    t.window = window;
+    t.layer_sent = std::move(sent);
+    return t;
+}
+
+/// 4-LDU window, one layer, no dependencies.
+Receiver flat_receiver() {
+    return Receiver{4, {4}, std::vector<std::vector<std::size_t>>(4)};
+}
+
+TEST(Receiver, CompleteWindowPlaysEverything) {
+    Receiver r = flat_receiver();
+    for (std::size_t i = 0; i < 4; ++i) r.on_packet(packet(0, i, 0, i));
+    r.on_trailer(trailer(0, {4}));
+    const WindowOutcome out = r.finalize(0);
+    EXPECT_EQ(out.playback, (espread::LossMask{true, true, true, true}));
+    EXPECT_EQ(out.frames_received, 4u);
+    EXPECT_EQ(out.layer_max_burst, (std::vector<std::size_t>{0}));
+    EXPECT_EQ(out.layer_lost, (std::vector<std::size_t>{0}));
+    EXPECT_TRUE(out.trailer_seen);
+}
+
+TEST(Receiver, MissingFragmentMeansMissingFrame) {
+    Receiver r = flat_receiver();
+    r.on_packet(packet(0, 0, 0, 0, 0, 2));  // fragment 0 of 2
+    r.on_packet(packet(0, 1, 0, 1));
+    r.on_packet(packet(0, 2, 0, 2));
+    r.on_packet(packet(0, 3, 0, 3));
+    r.on_trailer(trailer(0, {4}));
+    const WindowOutcome out = r.finalize(0);
+    EXPECT_EQ(out.playback, (espread::LossMask{false, true, true, true}));
+    EXPECT_EQ(out.layer_max_burst, (std::vector<std::size_t>{1}));
+}
+
+TEST(Receiver, DuplicateFragmentsAreIdempotent) {
+    Receiver r = flat_receiver();
+    r.on_packet(packet(0, 0, 0, 0, 0, 2));
+    r.on_packet(packet(0, 0, 0, 0, 0, 2));  // duplicate (e.g. retransmission)
+    r.on_packet(packet(0, 0, 0, 0, 1, 2));
+    r.on_trailer(trailer(0, {1}));
+    const WindowOutcome out = r.finalize(0);
+    EXPECT_TRUE(out.playback[0]);
+}
+
+TEST(Receiver, BurstMeasuredInWireOrderNotPlaybackOrder) {
+    Receiver r = flat_receiver();
+    // Wire order carries frames 0,2,1,3 at positions 0..3; positions 1 and 2
+    // are lost -> wire burst 2, although playback losses (frames 1,2) are
+    // also adjacent here.
+    r.on_packet(packet(0, 0, 0, 0));
+    r.on_packet(packet(0, 3, 0, 3));
+    r.on_trailer(trailer(0, {4}));
+    const WindowOutcome out = r.finalize(0);
+    EXPECT_EQ(out.layer_max_burst, (std::vector<std::size_t>{2}));
+    EXPECT_EQ(out.layer_lost, (std::vector<std::size_t>{2}));
+}
+
+TEST(Receiver, TrailerLimitsMeasurementSpanToSentFrames) {
+    Receiver r = flat_receiver();
+    r.on_packet(packet(0, 0, 0, 0));
+    r.on_packet(packet(0, 1, 0, 1));
+    // Only 2 of 4 frames were sent (deadline drop); both arrived.
+    r.on_trailer(trailer(0, {2}));
+    const WindowOutcome out = r.finalize(0);
+    EXPECT_EQ(out.layer_max_burst, (std::vector<std::size_t>{0}));
+    EXPECT_EQ(out.layer_lost, (std::vector<std::size_t>{0}));
+    // Unsent frames still count as playback losses.
+    EXPECT_EQ(out.playback, (espread::LossMask{true, true, false, false}));
+}
+
+TEST(Receiver, WithoutTrailerSpanFallsBackToHighestSeenPosition) {
+    Receiver r = flat_receiver();
+    r.on_packet(packet(0, 0, 0, 0));
+    r.on_packet(packet(0, 3, 0, 3));  // positions 1, 2 missing in between
+    const WindowOutcome out = r.finalize(0);
+    EXPECT_FALSE(out.trailer_seen);
+    EXPECT_EQ(out.layer_max_burst, (std::vector<std::size_t>{2}));
+}
+
+TEST(Receiver, UnseenWindowIsTotalLoss) {
+    Receiver r = flat_receiver();
+    const WindowOutcome out = r.finalize(7);
+    EXPECT_EQ(out.playback, (espread::LossMask{false, false, false, false}));
+    EXPECT_EQ(out.layer_max_burst, (std::vector<std::size_t>{4}));
+    EXPECT_EQ(out.frames_received, 0u);
+}
+
+TEST(Receiver, UndecodableWhenPrerequisiteMissing) {
+    // Frames: 0 = I, 1 = B (needs 0 and 2), 2 = P (needs 0).
+    std::vector<std::vector<std::size_t>> prereqs{{}, {0, 2}, {0}};
+    Receiver r{3, {3}, prereqs};
+    // I lost; P and B arrive -> both undecodable.
+    r.on_packet(packet(0, 1, 0, 1));
+    r.on_packet(packet(0, 2, 0, 2));
+    r.on_trailer(trailer(0, {3}));
+    const WindowOutcome out = r.finalize(0);
+    EXPECT_EQ(out.playback, (espread::LossMask{false, false, false}));
+    EXPECT_EQ(out.undecodable, 2u);
+    EXPECT_EQ(out.frames_received, 2u);
+}
+
+TEST(Receiver, ForwardPrerequisiteHandledByFixedPoint) {
+    // B(0) needs P(2); P(2) needs I(1).  I lost -> P undecodable -> B
+    // undecodable even though B sits before its prerequisites in playback.
+    std::vector<std::vector<std::size_t>> prereqs{{2}, {}, {1}};
+    Receiver r{3, {3}, prereqs};
+    r.on_packet(packet(0, 0, 0, 0));
+    r.on_packet(packet(0, 2, 0, 2));
+    r.on_trailer(trailer(0, {3}));
+    const WindowOutcome out = r.finalize(0);
+    EXPECT_EQ(out.playback, (espread::LossMask{false, false, false}));
+    EXPECT_EQ(out.undecodable, 2u);
+}
+
+TEST(Receiver, ParityPacketsIgnored) {
+    Receiver r = flat_receiver();
+    DataPacket parity = packet(0, 0, 0, 0);
+    parity.parity = true;
+    r.on_packet(parity);
+    r.on_trailer(trailer(0, {1}));
+    const WindowOutcome out = r.finalize(0);
+    EXPECT_FALSE(out.playback[0]);
+}
+
+TEST(Receiver, WindowsIndependentAndReleasedAfterFinalize) {
+    Receiver r = flat_receiver();
+    r.on_packet(packet(0, 0, 0, 0));
+    r.on_packet(packet(1, 4, 0, 0));  // frame 4 = local 0 of window 1
+    r.on_trailer(trailer(1, {1}));
+    const WindowOutcome w1 = r.finalize(1);
+    EXPECT_TRUE(w1.playback[0]);
+    const WindowOutcome w0 = r.finalize(0);
+    EXPECT_TRUE(w0.playback[0]);
+    // Finalizing again yields the all-lost default (state released).
+    const WindowOutcome again = r.finalize(0);
+    EXPECT_FALSE(again.playback[0]);
+}
+
+TEST(Receiver, MultiLayerBurstsIndependent) {
+    // Two layers of sizes 2 and 3.
+    Receiver r{5, {2, 3}, std::vector<std::vector<std::size_t>>(5)};
+    r.on_packet(packet(0, 0, 0, 0));  // layer 0 pos 0 ok; pos 1 lost
+    r.on_packet(packet(0, 3, 1, 1));  // layer 1 pos 1 ok; pos 0, 2 lost
+    r.on_trailer(trailer(0, {2, 3}));
+    const WindowOutcome out = r.finalize(0);
+    EXPECT_EQ(out.layer_max_burst, (std::vector<std::size_t>{1, 1}));
+    EXPECT_EQ(out.layer_lost, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(Receiver, RejectsInvalidConstruction) {
+    EXPECT_THROW((Receiver{0, {}, {}}), std::invalid_argument);
+    EXPECT_THROW((Receiver{3, {3}, std::vector<std::vector<std::size_t>>(2)}),
+                 std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+#include "protocol/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+using espread::proto::run_session;
+using espread::proto::SessionConfig;
+using espread::proto::SessionResult;
+using espread::proto::summarize;
+using espread::proto::write_csv;
+using espread::proto::write_csv_file;
+
+SessionResult small_result() {
+    SessionConfig cfg;
+    cfg.num_windows = 5;
+    cfg.seed = 3;
+    return run_session(cfg);
+}
+
+TEST(Report, CsvHasHeaderAndOneRowPerWindow) {
+    const SessionResult r = small_result();
+    std::ostringstream out;
+    write_csv(out, r);
+    std::istringstream in{out.str()};
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line.substr(0, 11), "window,clf,");
+    std::size_t rows = 0;
+    while (std::getline(in, line)) {
+        ++rows;
+        // 9 columns -> 8 commas
+        EXPECT_EQ(std::count(line.begin(), line.end(), ','), 8);
+    }
+    EXPECT_EQ(rows, 5u);
+}
+
+TEST(Report, CsvRowsMatchWindowReports) {
+    const SessionResult r = small_result();
+    std::ostringstream out;
+    write_csv(out, r);
+    std::istringstream in{out.str()};
+    std::string line;
+    std::getline(in, line);  // header
+    std::getline(in, line);  // window 0
+    std::istringstream row{line};
+    std::string cell;
+    std::getline(row, cell, ',');
+    EXPECT_EQ(cell, "0");
+    std::getline(row, cell, ',');
+    EXPECT_EQ(cell, std::to_string(r.windows[0].clf));
+}
+
+TEST(Report, CsvFileRoundTrip) {
+    const std::string path = ::testing::TempDir() + "/espread_report.csv";
+    write_csv_file(path, small_result());
+    std::ifstream in{path};
+    ASSERT_TRUE(in.good());
+    std::string header;
+    std::getline(in, header);
+    EXPECT_NE(header.find("bound_used"), std::string::npos);
+    EXPECT_THROW(write_csv_file("/nonexistent/dir/x.csv", small_result()),
+                 std::runtime_error);
+}
+
+TEST(Report, SummaryMentionsKeyStatistics) {
+    const std::string s = summarize(small_result());
+    EXPECT_NE(s.find("5 windows"), std::string::npos);
+    EXPECT_NE(s.find("CLF mean"), std::string::npos);
+    EXPECT_NE(s.find("ALF"), std::string::npos);
+    EXPECT_NE(s.find("ACKs applied"), std::string::npos);
+}
+
+}  // namespace

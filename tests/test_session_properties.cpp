@@ -1,0 +1,131 @@
+// Cross-cutting protocol invariants, swept over schemes, stream kinds and
+// seeds with parameterized tests (conservation laws that must hold no
+// matter how the network behaves).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "protocol/session.hpp"
+
+namespace {
+
+using espread::proto::run_session;
+using espread::proto::Scheme;
+using espread::proto::SessionConfig;
+using espread::proto::SessionResult;
+using espread::proto::StreamKind;
+
+class SessionSweep
+    : public ::testing::TestWithParam<std::tuple<Scheme, int, double>> {};
+
+SessionConfig sweep_config(Scheme scheme, int seed, double p_bad) {
+    SessionConfig cfg;
+    cfg.scheme = scheme;
+    cfg.seed = static_cast<std::uint64_t>(seed);
+    cfg.data_loss = {0.92, p_bad};
+    cfg.feedback_loss = {0.92, p_bad};
+    cfg.num_windows = 15;
+    return cfg;
+}
+
+TEST_P(SessionSweep, ConservationAndSanity) {
+    const auto [scheme, seed, p_bad] = GetParam();
+    const SessionConfig cfg = sweep_config(scheme, seed, p_bad);
+    const SessionResult r = run_session(cfg);
+
+    ASSERT_EQ(r.windows.size(), cfg.num_windows);
+    const std::size_t n = cfg.window_ldus();
+    EXPECT_EQ(r.total.slots, cfg.num_windows * n);
+
+    // Channel accounting: every packet either delivered or dropped.
+    EXPECT_EQ(r.data_channel.sent,
+              r.data_channel.delivered + r.data_channel.dropped);
+    EXPECT_EQ(r.feedback_channel.sent,
+              r.feedback_channel.delivered + r.feedback_channel.dropped);
+
+    // Exactly one ACK per window; applied <= sent.
+    EXPECT_EQ(r.acks_sent, cfg.num_windows);
+    EXPECT_LE(r.acks_applied, r.acks_sent);
+
+    std::size_t lost_sum = 0;
+    for (const auto& w : r.windows) {
+        // Per-window CLF cannot exceed the window, losses bound CLF.
+        EXPECT_LE(w.clf, n);
+        EXPECT_LE(w.clf, w.lost_ldus);
+        EXPECT_LE(w.lost_ldus, n);
+        EXPECT_LE(w.undecodable, w.lost_ldus);
+        EXPECT_LE(w.sender_dropped, n);
+        EXPECT_GE(w.bound_used, 1u);
+        lost_sum += w.lost_ldus;
+        // ALF consistency within the window.
+        EXPECT_NEAR(w.alf, static_cast<double>(w.lost_ldus) / static_cast<double>(n),
+                    1e-12);
+    }
+    EXPECT_EQ(lost_sum, r.total.unit_losses);
+
+    // Determinism: identical configs give identical outcomes.
+    const SessionResult again = run_session(cfg);
+    for (std::size_t k = 0; k < r.windows.size(); ++k) {
+        ASSERT_EQ(r.windows[k].clf, again.windows[k].clf);
+        ASSERT_EQ(r.windows[k].lost_ldus, again.windows[k].lost_ldus);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mpeg, SessionSweep,
+    ::testing::Combine(::testing::Values(Scheme::kInOrder,
+                                         Scheme::kLayeredNoScramble,
+                                         Scheme::kLayeredIbo,
+                                         Scheme::kLayeredSpread),
+                       ::testing::Values(1, 2, 3),
+                       ::testing::Values(0.3, 0.6, 0.9)));
+
+class StreamKindSweep
+    : public ::testing::TestWithParam<std::tuple<StreamKind, int>> {};
+
+TEST_P(StreamKindSweep, AllStreamKindsSatisfyInvariants) {
+    const auto [kind, seed] = GetParam();
+    SessionConfig cfg;
+    cfg.stream.kind = kind;
+    cfg.stream.ldus_per_window = 20;
+    cfg.stream.frame_rate = 30.0;
+    cfg.stream.mjpeg_mean_bits = 16000.0;
+    cfg.seed = static_cast<std::uint64_t>(seed);
+    cfg.num_windows = 12;
+    const SessionResult r = run_session(cfg);
+    EXPECT_EQ(r.total.slots, cfg.num_windows * cfg.window_ldus());
+    for (const auto& w : r.windows) {
+        EXPECT_LE(w.clf, cfg.window_ldus());
+        if (kind != StreamKind::kMpeg) {
+            EXPECT_EQ(w.undecodable, 0u);  // no dependencies to violate
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, StreamKindSweep,
+    ::testing::Combine(::testing::Values(StreamKind::kMpeg, StreamKind::kMjpeg,
+                                         StreamKind::kAudio),
+                       ::testing::Values(1, 7)));
+
+// The headline monotonicity: under every bursty network in the sweep, the
+// scrambled scheme's mean CLF (averaged over seeds) is no worse than the
+// unscrambled baseline's.
+TEST(SessionProperty, SpreadNeverWorseOnAverageAcrossSeeds) {
+    for (const double p_bad : {0.5, 0.6, 0.7}) {
+        double spread = 0.0;
+        double plain = 0.0;
+        for (int seed = 1; seed <= 4; ++seed) {
+            plain += run_session(sweep_config(Scheme::kInOrder, seed, p_bad))
+                         .clf_stats()
+                         .mean();
+            spread +=
+                run_session(sweep_config(Scheme::kLayeredSpread, seed, p_bad))
+                    .clf_stats()
+                    .mean();
+        }
+        EXPECT_LE(spread, plain + 0.05) << "p_bad=" << p_bad;
+    }
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+#include "core/spreader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/burst.hpp"
+
+namespace {
+
+using espread::burst_loss_mask;
+using espread::ErrorSpreader;
+using espread::LossMask;
+using espread::Permutation;
+
+TEST(Spreader, WindowPermutationIsIdentityBeforeFirstWindow) {
+    const ErrorSpreader s{8};
+    EXPECT_TRUE(s.window_permutation().is_identity());
+}
+
+TEST(Spreader, InitialBoundIsHalfWindow) {
+    ErrorSpreader s{24};
+    EXPECT_EQ(s.current_bound(), 12u);
+    const Permutation& p = s.begin_window();
+    EXPECT_EQ(p.size(), 24u);
+    EXPECT_FALSE(p.is_identity());  // spreading against b = 12 requires scrambling
+}
+
+TEST(Spreader, UnspreadMatchesBurstLossMask) {
+    ErrorSpreader s{17};
+    const Permutation& p = s.begin_window();
+    // A burst hits transmission slots 3..9.
+    LossMask tx(17, true);
+    for (std::size_t slot = 3; slot < 10; ++slot) tx[slot] = false;
+    const LossMask playback = s.unspread(tx);
+    EXPECT_EQ(playback, burst_loss_mask(p, 3, 7));
+}
+
+TEST(Spreader, UnspreadRejectsWrongSize) {
+    ErrorSpreader s{8};
+    s.begin_window();
+    EXPECT_THROW(s.unspread(LossMask(7, true)), std::invalid_argument);
+}
+
+TEST(Spreader, FeedbackLowersBoundForLaterWindows) {
+    ErrorSpreader s{24};
+    EXPECT_EQ(s.current_bound(), 12u);
+    s.on_feedback(2);  // much calmer network than assumed
+    EXPECT_LT(s.current_bound(), 12u);
+    s.begin_window();
+    EXPECT_EQ(s.window_clf_guarantee(),
+              espread::worst_case_clf(s.window_permutation(), s.estimator().bound()));
+}
+
+TEST(Spreader, PermutationStableWhileEstimateStable) {
+    ErrorSpreader s{16};
+    const Permutation p1 = s.begin_window();
+    const std::size_t g1 = s.window_clf_guarantee();
+    const Permutation p2 = s.begin_window();
+    EXPECT_EQ(p1, p2);
+    EXPECT_EQ(s.window_clf_guarantee(), g1);
+    s.on_feedback(16);
+    s.on_feedback(16);
+    s.on_feedback(16);
+    s.on_feedback(16);
+    s.begin_window();
+    // Bound climbed from 8 toward 16; the guarantee must loosen with it
+    // (a burst may now swallow the entire window).
+    EXPECT_EQ(s.estimator().bound(), 16u);
+    EXPECT_GT(s.window_clf_guarantee(), g1);
+}
+
+TEST(Spreader, PinBoundFreezesAdaptation) {
+    ErrorSpreader s{16};
+    s.pin_bound(3);
+    const Permutation p1 = s.begin_window();
+    s.on_feedback(16);
+    s.on_feedback(16);
+    const Permutation p2 = s.begin_window();
+    EXPECT_EQ(p1, p2);
+    EXPECT_EQ(s.window_clf_guarantee(), espread::worst_case_clf(p1, 3));
+}
+
+TEST(Spreader, PinBoundClampsToWindow) {
+    ErrorSpreader s{8};
+    s.pin_bound(100);
+    s.begin_window();
+    EXPECT_EQ(s.window_clf_guarantee(), 8u);
+}
+
+TEST(Spreader, GuaranteeHoldsAgainstEveryBurstPosition) {
+    ErrorSpreader s{20};
+    s.pin_bound(4);
+    s.begin_window();
+    const std::size_t guarantee = s.window_clf_guarantee();
+    for (std::size_t start = 0; start + 4 <= 20; ++start) {
+        LossMask tx(20, true);
+        for (std::size_t i = start; i < start + 4; ++i) tx[i] = false;
+        EXPECT_LE(espread::consecutive_loss(s.unspread(tx)), guarantee)
+            << "burst at " << start;
+    }
+}
+
+TEST(Spreader, InvalidConstructionThrows) {
+    EXPECT_THROW(ErrorSpreader(0), std::invalid_argument);
+    EXPECT_THROW(ErrorSpreader(8, 2.0), std::invalid_argument);
+}
+
+}  // namespace

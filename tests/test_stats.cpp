@@ -1,0 +1,111 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using espread::sim::Histogram;
+using espread::sim::RunningStats;
+using espread::sim::TimeSeries;
+
+TEST(RunningStats, EmptyIsZero) {
+    RunningStats s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.deviation(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+    RunningStats s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownPopulationMoments) {
+    RunningStats s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic example: population var = 4
+    EXPECT_DOUBLE_EQ(s.deviation(), 2.0);
+    EXPECT_NEAR(s.sample_variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesBulk) {
+    RunningStats a;
+    RunningStats b;
+    RunningStats all;
+    for (int i = 0; i < 10; ++i) {
+        const double x = 0.37 * i * i - 2.0 * i + 1.0;
+        (i < 4 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+    RunningStats a;
+    a.add(1.0);
+    a.add(2.0);
+    RunningStats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    RunningStats c;
+    c.merge(a);
+    EXPECT_EQ(c.count(), 2u);
+    EXPECT_DOUBLE_EQ(c.mean(), 1.5);
+}
+
+TEST(TimeSeries, PreservesOrderAndStats) {
+    TimeSeries ts;
+    ts.add(0, 2.0);
+    ts.add(1, 4.0);
+    ts.add(2, 6.0);
+    ASSERT_EQ(ts.size(), 3u);
+    EXPECT_EQ(ts.xs(), (std::vector<double>{0, 1, 2}));
+    EXPECT_EQ(ts.ys(), (std::vector<double>{2, 4, 6}));
+    EXPECT_DOUBLE_EQ(ts.y_stats().mean(), 4.0);
+}
+
+TEST(Histogram, CountsAndFractions) {
+    Histogram h;
+    for (const int v : {1, 1, 2, 3, 3, 3}) h.add(v);
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(3), 3u);
+    EXPECT_EQ(h.count(9), 0u);
+    EXPECT_DOUBLE_EQ(h.fraction(3), 0.5);
+    EXPECT_EQ(h.min(), 1);
+    EXPECT_EQ(h.max(), 3);
+    EXPECT_NEAR(h.mean(), 13.0 / 6.0, 1e-12);
+}
+
+TEST(Histogram, EmptyIsSafe) {
+    Histogram h;
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(FormatFixed, RendersDigits) {
+    EXPECT_EQ(espread::sim::format_fixed(1.456, 2), "1.46");
+    EXPECT_EQ(espread::sim::format_fixed(1.0, 0), "1");
+    EXPECT_EQ(espread::sim::format_fixed(-0.125, 3), "-0.125");
+}
+
+}  // namespace
