@@ -4,11 +4,22 @@
 //   3. layering — anchors-first transmission with vs without scrambling,
 //      and IBO vs k-CPO inside the B layer (the §4.4 CMT comparison);
 //   4. critical retransmission on/off under each ordering.
+//
+// Every cell runs N independent channel realizations (default 32,
+// --trials=N) through the parallel Monte-Carlo runner (--threads=T), so
+// the deltas between rows come with a spread instead of resting on one
+// seed.  All cells are persisted to BENCH_ablation.json.
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "exp/json.hpp"
+#include "exp/runner.hpp"
 #include "protocol/session.hpp"
 
-using espread::proto::run_session;
+using espread::exp::JsonWriter;
+using espread::exp::MonteCarloRunner;
+using espread::exp::TrialSummary;
 using espread::proto::Scheme;
 using espread::proto::scheme_name;
 using espread::proto::SessionConfig;
@@ -24,31 +35,72 @@ SessionConfig base() {
     return cfg;
 }
 
-void report(const char* label, const SessionConfig& cfg) {
-    const auto r = run_session(cfg);
-    const auto s = r.clf_stats();
-    std::printf("  %-28s CLF %.2f / %.2f   ALF %.3f\n", label, s.mean(),
-                s.deviation(), r.total.alf);
-}
+struct Cell {
+    std::string section;
+    std::string label;
+    TrialSummary summary;
+};
+
+class AblationReporter {
+public:
+    explicit AblationReporter(const MonteCarloRunner& runner)
+        : runner_(runner) {}
+
+    void report(const char* section, const char* label,
+                const SessionConfig& cfg) {
+        Cell cell;
+        cell.section = section;
+        cell.label = label;
+        cell.summary = runner_.run(cfg);
+        const TrialSummary& s = cell.summary;
+        std::printf("  %-28s CLF %.2f / %.2f   ALF %.3f   (trial means %.2f..%.2f)\n",
+                    label, s.window_clf.mean(), s.window_clf.deviation(),
+                    s.alf.mean(), s.clf_mean.min(), s.clf_mean.max());
+        cells_.push_back(std::move(cell));
+    }
+
+    const std::vector<Cell>& cells() const noexcept { return cells_; }
+
+    double wall_seconds() const {
+        double w = 0.0;
+        for (const Cell& c : cells_) w += c.summary.wall_seconds;
+        return w;
+    }
+
+    std::size_t total_windows() const {
+        std::size_t w = 0;
+        for (const Cell& c : cells_) w += c.summary.total_windows;
+        return w;
+    }
+
+private:
+    const MonteCarloRunner& runner_;
+    std::vector<Cell> cells_;
+};
 
 }  // namespace
 
-int main() {
-    std::printf("== Ablations (Jurassic Park, Fig. 8 network, 100 windows) ==\n\n");
+int main(int argc, char** argv) {
+    const auto opts = espread::exp::parse_runner_args(argc, argv, {32, 0});
+    MonteCarloRunner runner(opts);
+    AblationReporter rep(runner);
+
+    std::printf("== Ablations (Jurassic Park, Fig. 8 network, 100 windows, "
+                "%zu trials, %zu threads) ==\n\n",
+                runner.trials(), runner.threads());
 
     std::printf("1. adaptivity of the burst bound (layered k-CPO):\n");
     {
         SessionConfig cfg = base();
-        report("adaptive (Eq. 1)", cfg);
+        rep.report("adaptivity", "adaptive (Eq. 1)", cfg);
         cfg.adaptive = false;
-        report("frozen at initial n/2", cfg);
-        cfg.adaptive = true;
+        rep.report("adaptivity", "frozen at initial n/2", cfg);
         for (const std::size_t pin : {1u, 4u, 16u}) {
             SessionConfig pinned = base();
             pinned.pinned_bound = pin;
             char label[64];
             std::snprintf(label, sizeof(label), "pinned b = %zu", pin);
-            report(label, pinned);
+            rep.report("adaptivity", label, pinned);
         }
     }
 
@@ -59,7 +111,7 @@ int main() {
         char label[64];
         std::snprintf(label, sizeof(label), "alpha = %.2f%s", alpha,
                       alpha == 0.5 ? "  (paper)" : "");
-        report(label, cfg);
+        rep.report("alpha", label, cfg);
     }
 
     std::printf("\n3. ordering inside the window:\n");
@@ -68,7 +120,7 @@ int main() {
           Scheme::kLayeredSpread}) {
         SessionConfig cfg = base();
         cfg.scheme = scheme;
-        report(scheme_name(scheme), cfg);
+        rep.report("ordering", scheme_name(scheme), cfg);
     }
 
     std::printf("\n4. critical-layer retransmission:\n");
@@ -80,7 +132,7 @@ int main() {
             char label[64];
             std::snprintf(label, sizeof(label), "%s, retransmit %s",
                           scheme_name(scheme), retx ? "on" : "off");
-            report(label, cfg);
+            rep.report("retransmission", label, cfg);
         }
     }
 
@@ -88,11 +140,11 @@ int main() {
     {
         SessionConfig cfg = base();
         cfg.estimator = espread::proto::EstimatorKind::kEwma;
-        report("EWMA alpha=0.5 (paper)", cfg);
+        rep.report("estimator", "EWMA alpha=0.5 (paper)", cfg);
         cfg.estimator = espread::proto::EstimatorKind::kSlidingMax;
-        report("sliding max, history 4", cfg);
+        rep.report("estimator", "sliding max, history 4", cfg);
         cfg.sliding_history = 8;
-        report("sliding max, history 8", cfg);
+        rep.report("estimator", "sliding max, history 8", cfg);
     }
 
     std::printf("\n6. sender drop policy on a starved link (0.6 Mb/s, lossless):\n");
@@ -105,15 +157,43 @@ int main() {
         cfg.data_link.bandwidth_bps = 6e5;
         cfg.feedback_link.bandwidth_bps = 6e5;
         cfg.drop_policy = policy;
-        report(policy == espread::proto::DropPolicy::kReactive
-                   ? "reactive (deadline-fit)"
-                   : "predictive (CMT-style)",
-               cfg);
+        rep.report("drop_policy",
+                   policy == espread::proto::DropPolicy::kReactive
+                       ? "reactive (deadline-fit)"
+                       : "predictive (CMT-style)",
+                   cfg);
     }
 
     std::printf(
         "\nreading: adaptivity matters mostly through avoiding a stale bound;\n"
         "alpha is flat near the paper's 1/2; layering + anchor retransmission\n"
         "carries the decodability battle, scrambling then wins the CLF one.\n");
+
+    const double wall = rep.wall_seconds();
+    const std::size_t windows = rep.total_windows();
+    std::printf("\nthroughput: %zu windows in %.2f s = %.0f windows/sec\n",
+                windows, wall, wall > 0 ? static_cast<double>(windows) / wall : 0.0);
+
+    JsonWriter json;
+    json.begin_object();
+    json.key("bench").value("ablation");
+    json.key("trials").value(static_cast<std::uint64_t>(runner.trials()));
+    json.key("threads").value(static_cast<std::uint64_t>(runner.threads()));
+    json.key("wall_seconds").value(wall);
+    json.key("windows_per_second")
+        .value(wall > 0 ? static_cast<double>(windows) / wall : 0.0);
+    json.key("cells").begin_array();
+    for (const Cell& c : rep.cells()) {
+        json.begin_object();
+        json.key("section").value(c.section);
+        json.key("label").value(c.label);
+        json.key("summary");
+        espread::exp::append_summary(json, c.summary);
+        json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    espread::exp::write_text_file("BENCH_ablation.json", json.str());
+    std::printf("wrote BENCH_ablation.json\n");
     return 0;
 }

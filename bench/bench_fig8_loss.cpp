@@ -5,17 +5,26 @@
 // P_bad in {0.6, 0.7}; 100 buffer windows; scrambled (layered k-CPO) vs
 // un-scrambled (MPEG coding order) transmission.
 //
-// Paper reference numbers:
+// The paper's numbers are single-channel-realization estimates; this bench
+// runs every panel over N independent Gilbert realizations (default 32,
+// --trials=N) through the parallel Monte-Carlo runner (--threads=T) and
+// reports the mean and spread across trials, plus a machine-readable
+// BENCH_fig8.json for cross-PR perf tracking.
+//
+// Paper reference numbers (their single realization):
 //   P_bad = 0.6: un-scrambled mean 1.71 dev 0.92; scrambled mean 1.46 dev 0.56
 //   P_bad = 0.7: un-scrambled mean 1.63 dev 0.85; scrambled mean 1.56 dev 0.79
 #include <cstdio>
 
+#include "exp/json.hpp"
+#include "exp/runner.hpp"
 #include "protocol/session.hpp"
 
-using espread::proto::run_session;
+using espread::exp::JsonWriter;
+using espread::exp::MonteCarloRunner;
+using espread::exp::TrialSummary;
 using espread::proto::Scheme;
 using espread::proto::SessionConfig;
-using espread::proto::SessionResult;
 
 namespace {
 
@@ -29,41 +38,92 @@ SessionConfig fig8_config(double p_bad, Scheme scheme, std::uint64_t seed) {
     return cfg;
 }
 
-void run_panel(double p_bad, double paper_plain_mean, double paper_plain_dev,
-               double paper_spread_mean, double paper_spread_dev) {
-    constexpr std::uint64_t kSeed = 42;
-    const SessionResult plain =
-        run_session(fig8_config(p_bad, Scheme::kInOrder, kSeed));
-    const SessionResult spread =
-        run_session(fig8_config(p_bad, Scheme::kLayeredSpread, kSeed));
+struct Panel {
+    double p_bad;
+    TrialSummary plain;
+    TrialSummary spread;
+};
 
+void print_panel(const Panel& p, double paper_plain_mean,
+                 double paper_plain_dev, double paper_spread_mean,
+                 double paper_spread_dev) {
     std::printf("---- P_bad = %.1f (RTT 23 ms, BW 1.2 Mb/s, W = 2, GOP 12, pkt 16384) ----\n\n",
-                p_bad);
-    std::printf("window: unscrambled CLF | scrambled CLF | actual n/w packet burst\n");
-    for (std::size_t k = 0; k < plain.windows.size(); ++k) {
-        std::printf("  %3zu : %15zu | %13zu | %zu\n", k, plain.windows[k].clf,
-                    spread.windows[k].clf, spread.windows[k].actual_packet_burst);
-    }
-    const auto ps = plain.clf_stats();
-    const auto ss = spread.clf_stats();
-    std::printf("\n            %-22s %-22s\n", "mean CLF (paper)", "dev CLF (paper)");
-    std::printf("unscrambled %-5.2f (%.2f)%12s %-5.2f (%.2f)\n", ps.mean(),
-                paper_plain_mean, "", ps.deviation(), paper_plain_dev);
-    std::printf("scrambled   %-5.2f (%.2f)%12s %-5.2f (%.2f)\n", ss.mean(),
-                paper_spread_mean, "", ss.deviation(), paper_spread_dev);
-    std::printf("aggregate loss (ALF): unscrambled %.3f, scrambled %.3f "
-                "(bandwidth-neutral: ~equal)\n\n",
-                plain.total.alf, spread.total.alf);
+                p.p_bad);
+    std::printf("            %-24s %-24s per-trial mean CLF range\n",
+                "mean CLF (paper)", "dev CLF (paper)");
+    std::printf("unscrambled %-6.2f (%.2f)%12s %-6.2f (%.2f)%12s [%.2f, %.2f]\n",
+                p.plain.window_clf.mean(), paper_plain_mean, "",
+                p.plain.window_clf.deviation(), paper_plain_dev, "",
+                p.plain.clf_mean.min(), p.plain.clf_mean.max());
+    std::printf("scrambled   %-6.2f (%.2f)%12s %-6.2f (%.2f)%12s [%.2f, %.2f]\n",
+                p.spread.window_clf.mean(), paper_spread_mean, "",
+                p.spread.window_clf.deviation(), paper_spread_dev, "",
+                p.spread.clf_mean.min(), p.spread.clf_mean.max());
+    std::printf("aggregate loss (ALF): unscrambled %.3f +/- %.3f, "
+                "scrambled %.3f +/- %.3f (bandwidth-neutral: ~equal)\n\n",
+                p.plain.alf.mean(), p.plain.alf.deviation(),
+                p.spread.alf.mean(), p.spread.alf.deviation());
+}
+
+void append_panel(JsonWriter& json, const Panel& p) {
+    json.begin_object();
+    json.key("p_bad").value(p.p_bad);
+    json.key("unscrambled");
+    espread::exp::append_summary(json, p.plain);
+    json.key("scrambled");
+    espread::exp::append_summary(json, p.spread);
+    json.end_object();
 }
 
 }  // namespace
 
-int main() {
-    std::printf("== Figure 8: CLF per buffer window under bursty network loss ==\n\n");
-    run_panel(0.6, 1.71, 0.92, 1.46, 0.56);
-    run_panel(0.7, 1.63, 0.85, 1.56, 0.79);
+int main(int argc, char** argv) {
+    const auto opts = espread::exp::parse_runner_args(argc, argv, {32, 0});
+    MonteCarloRunner runner(opts);
+    constexpr std::uint64_t kSeed = 42;
+
+    std::printf("== Figure 8: CLF per buffer window under bursty network loss ==\n");
+    std::printf("   (%zu trials x 100 windows per cell, %zu threads)\n\n",
+                runner.trials(), runner.threads());
+
+    Panel panels[2];
+    double wall = 0.0;
+    std::size_t windows = 0;
+    for (int i = 0; i < 2; ++i) {
+        const double p_bad = i == 0 ? 0.6 : 0.7;
+        panels[i].p_bad = p_bad;
+        panels[i].plain =
+            runner.run(fig8_config(p_bad, Scheme::kInOrder, kSeed));
+        panels[i].spread =
+            runner.run(fig8_config(p_bad, Scheme::kLayeredSpread, kSeed));
+        wall += panels[i].plain.wall_seconds + panels[i].spread.wall_seconds;
+        windows +=
+            panels[i].plain.total_windows + panels[i].spread.total_windows;
+    }
+
+    print_panel(panels[0], 1.71, 0.92, 1.46, 0.56);
+    print_panel(panels[1], 1.63, 0.85, 1.56, 0.79);
+
     std::printf(
         "shape check (paper's claim): scrambling lowers BOTH the mean and the\n"
         "deviation of per-window CLF, holding aggregate loss unchanged.\n");
+    std::printf("\nthroughput: %zu windows in %.2f s = %.0f windows/sec\n",
+                windows, wall, wall > 0 ? static_cast<double>(windows) / wall : 0.0);
+
+    JsonWriter json;
+    json.begin_object();
+    json.key("bench").value("fig8_loss");
+    json.key("trials").value(static_cast<std::uint64_t>(runner.trials()));
+    json.key("threads").value(static_cast<std::uint64_t>(runner.threads()));
+    json.key("wall_seconds").value(wall);
+    json.key("windows_per_second")
+        .value(wall > 0 ? static_cast<double>(windows) / wall : 0.0);
+    json.key("panels").begin_array();
+    append_panel(json, panels[0]);
+    append_panel(json, panels[1]);
+    json.end_array();
+    json.end_object();
+    espread::exp::write_text_file("BENCH_fig8.json", json.str());
+    std::printf("wrote BENCH_fig8.json\n");
     return 0;
 }

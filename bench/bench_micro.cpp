@@ -46,6 +46,60 @@ void BM_PermutationApply(benchmark::State& state) {
 }
 BENCHMARK(BM_PermutationApply)->Arg(24)->Arg(360);
 
+void BM_PermutationApplyInto(benchmark::State& state) {
+    // Scratch-buffer variant: amortizes the output allocation away.
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const espread::Permutation p = espread::calculate_permutation(n, n / 4 + 1).perm;
+    std::vector<int> items(n, 7);
+    std::vector<int> scratch;
+    for (auto _ : state) {
+        p.apply_into(items, scratch);
+        benchmark::DoNotOptimize(scratch.data());
+    }
+}
+BENCHMARK(BM_PermutationApplyInto)->Arg(24)->Arg(360);
+
+espread::LossMask bursty_mask(std::size_t n) {
+    espread::sim::Rng rng{9};
+    espread::net::GilbertLoss loss{{0.92, 0.6}, std::move(rng)};
+    espread::LossMask mask(n);
+    for (std::size_t i = 0; i < n; ++i) mask[i] = !loss.drop_next();
+    return mask;
+}
+
+void BM_LossMaskMetrics(benchmark::State& state) {
+    const espread::LossMask mask = bursty_mask(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(espread::consecutive_loss(mask));
+        benchmark::DoNotOptimize(espread::aggregate_loss_count(mask));
+    }
+}
+BENCHMARK(BM_LossMaskMetrics)->Arg(96)->Arg(4096);
+
+void BM_BitMaskMetrics(benchmark::State& state) {
+    const espread::BitMask mask = espread::BitMask::from_mask(
+        bursty_mask(static_cast<std::size_t>(state.range(0))));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(espread::consecutive_loss(mask));
+        benchmark::DoNotOptimize(espread::aggregate_loss_count(mask));
+    }
+}
+BENCHMARK(BM_BitMaskMetrics)->Arg(96)->Arg(4096);
+
+void BM_SpreaderUnspreadInto(benchmark::State& state) {
+    espread::ErrorSpreader spreader{96};
+    spreader.on_feedback(8);
+    (void)spreader.begin_window();
+    espread::LossMask mask(96, true);
+    for (std::size_t i = 20; i < 28; ++i) mask[i] = false;
+    espread::LossMask scratch;
+    for (auto _ : state) {
+        spreader.unspread_into(mask, scratch);
+        benchmark::DoNotOptimize(&scratch);
+    }
+}
+BENCHMARK(BM_SpreaderUnspreadInto);
+
 void BM_SpreaderWindowCycle(benchmark::State& state) {
     espread::ErrorSpreader spreader{96};
     espread::LossMask mask(96, true);
@@ -100,10 +154,12 @@ BENCHMARK(BM_MarkovClfDistribution)->Arg(24)->Arg(96);
 
 void BM_FullSessionWindow(benchmark::State& state) {
     // Whole-stack cost per simulated buffer window (25 windows per run).
+    // The config template is built once outside the timed loop; run_session
+    // copies it, which is what the Monte-Carlo runner does per trial.
+    espread::proto::SessionConfig cfg;
+    cfg.num_windows = 25;
+    cfg.seed = 1;
     for (auto _ : state) {
-        espread::proto::SessionConfig cfg;
-        cfg.num_windows = 25;
-        cfg.seed = 1;
         benchmark::DoNotOptimize(espread::proto::run_session(cfg));
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 25);

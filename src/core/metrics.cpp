@@ -1,8 +1,48 @@
 #include "core/metrics.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace espread {
+
+namespace {
+
+/// Number of 64-bit words covering n slots.
+constexpr std::size_t words_for(std::size_t n) noexcept { return (n + 63) / 64; }
+
+/// Word `wi` of `mask` with delivery bits INVERTED (set bit = loss) and the
+/// tail bits past size() cleared, so loss scans can treat every word
+/// uniformly.
+std::uint64_t lost_word(const BitMask& mask, std::size_t wi) noexcept {
+    std::uint64_t w = ~mask.words()[wi];
+    const std::size_t tail = mask.size() - wi * 64;
+    if (tail < 64) w &= (std::uint64_t{1} << tail) - 1;
+    return w;
+}
+
+}  // namespace
+
+BitMask::BitMask(std::size_t n, bool delivered)
+    : words_(words_for(n), delivered ? ~std::uint64_t{0} : 0), size_(n) {
+    if (!delivered && n % 64 != 0) {
+        // Tail bits past size() stay set (delivered) by invariant.
+        words_.back() = ~((std::uint64_t{1} << (n % 64)) - 1);
+    }
+}
+
+BitMask BitMask::from_mask(const LossMask& mask) {
+    BitMask out(mask.size(), true);
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+        if (!mask[i]) out.set(i, false);
+    }
+    return out;
+}
+
+LossMask BitMask::to_mask() const {
+    LossMask out(size_);
+    for (std::size_t i = 0; i < size_; ++i) out[i] = test(i);
+    return out;
+}
 
 std::vector<std::size_t> loss_runs(const LossMask& delivered) {
     std::vector<std::size_t> runs;
@@ -37,7 +77,93 @@ std::size_t aggregate_loss_count(const LossMask& delivered) {
         std::count(delivered.begin(), delivered.end(), false));
 }
 
-ContinuityReport measure_continuity(const LossMask& delivered) {
+std::vector<std::size_t> loss_runs(const BitMask& delivered) {
+    std::vector<std::size_t> runs;
+    std::size_t current = 0;  // run carried in from the previous word
+    const std::size_t nwords = delivered.words().size();
+    for (std::size_t wi = 0; wi < nwords; ++wi) {
+        std::uint64_t w = lost_word(delivered, wi);
+        if (w == 0) {
+            if (current > 0) runs.push_back(current);
+            current = 0;
+            continue;
+        }
+        if (w == ~std::uint64_t{0}) {
+            current += 64;
+            continue;
+        }
+        std::size_t consumed = 0;
+        while (w != 0) {
+            const unsigned z = static_cast<unsigned>(std::countr_zero(w));
+            if (z > 0) {
+                if (current > 0) runs.push_back(current);
+                current = 0;
+                w >>= z;
+                consumed += z;
+            }
+            const unsigned o = static_cast<unsigned>(std::countr_one(w));
+            current += o;
+            consumed += o;
+            // o < 64 here: the word is neither 0 nor all-ones, so every
+            // run of ones inside it is bounded by a zero or the word top.
+            w >>= o;
+        }
+        if (consumed < 64 && current > 0) {
+            // The word's top bit is a delivered slot: the last run closed.
+            runs.push_back(current);
+            current = 0;
+        }
+    }
+    if (current > 0) runs.push_back(current);
+    return runs;
+}
+
+std::size_t consecutive_loss(const BitMask& delivered) {
+    std::size_t best = 0;
+    std::size_t current = 0;  // run carried in from the previous word
+    const std::size_t nwords = delivered.words().size();
+    for (std::size_t wi = 0; wi < nwords; ++wi) {
+        const std::uint64_t w = lost_word(delivered, wi);
+        if (w == 0) {
+            best = std::max(best, current);
+            current = 0;
+            continue;
+        }
+        if (w == ~std::uint64_t{0}) {
+            current += 64;
+            continue;
+        }
+        // Close the carried run against the word's leading losses.
+        const unsigned lead = static_cast<unsigned>(std::countr_one(w));
+        best = std::max(best, current + lead);
+        // Interior runs are fully contained in this word.
+        std::uint64_t x = w >> lead;  // bit 0 is now a delivered slot
+        while (x != 0) {
+            x >>= std::countr_zero(x);
+            const unsigned o = static_cast<unsigned>(std::countr_one(x));
+            best = std::max<std::size_t>(best, o);
+            x >>= o;  // o < 64: at least one zero was shifted out above
+        }
+        // A run touching the word top continues into the next word.
+        current = static_cast<std::size_t>(std::countl_one(w));
+    }
+    return std::max(best, current);
+}
+
+std::size_t aggregate_loss_count(const BitMask& delivered) {
+    // Tail bits past size() are set by invariant, so every clear bit in the
+    // backing words is a real loss.
+    std::size_t delivered_bits = 0;
+    for (const std::uint64_t w : delivered.words()) {
+        delivered_bits += static_cast<std::size_t>(std::popcount(w));
+    }
+    return delivered.words().size() * 64 - delivered_bits;
+}
+
+namespace {
+
+template <typename Mask>
+ContinuityReport measure_continuity_impl(const Mask& delivered) {
     ContinuityReport r;
     r.slots = delivered.size();
     r.unit_losses = aggregate_loss_count(delivered);
@@ -47,15 +173,37 @@ ContinuityReport measure_continuity(const LossMask& delivered) {
     return r;
 }
 
-void ContinuityMeter::add_window(const LossMask& delivered) {
-    const ContinuityReport w = measure_continuity(delivered);
+}  // namespace
+
+ContinuityReport measure_continuity(const LossMask& delivered) {
+    return measure_continuity_impl(delivered);
+}
+
+ContinuityReport measure_continuity(const BitMask& delivered) {
+    return measure_continuity_impl(delivered);
+}
+
+void ContinuityMeter::accumulate(const ContinuityReport& w) {
     clf_series_.add(static_cast<double>(clf_series_.size()), static_cast<double>(w.clf));
     total_.slots += w.slots;
     total_.unit_losses += w.unit_losses;
     total_.clf = std::max(total_.clf, w.clf);
-    total_.alf = total_.slots == 0
-                     ? 0.0
-                     : static_cast<double>(total_.unit_losses) / static_cast<double>(total_.slots);
+}
+
+void ContinuityMeter::add_window(const LossMask& delivered) {
+    accumulate(measure_continuity(delivered));
+}
+
+void ContinuityMeter::add_window(const BitMask& delivered) {
+    accumulate(measure_continuity(delivered));
+}
+
+ContinuityReport ContinuityMeter::total() const noexcept {
+    ContinuityReport r = total_;
+    r.alf = r.slots == 0
+                ? 0.0
+                : static_cast<double>(r.unit_losses) / static_cast<double>(r.slots);
+    return r;
 }
 
 }  // namespace espread

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "sim/stats.hpp"
@@ -20,6 +21,52 @@ namespace espread {
 /// Per-slot delivery outcome in playback order: true = the ideal LDU played
 /// in its slot, false = unit loss.
 using LossMask = std::vector<bool>;
+
+/// Bit-packed delivery mask (64 slots per word) with word-at-a-time metric
+/// fast paths.  Same polarity as LossMask: a set bit means the slot's ideal
+/// LDU was delivered; a clear bit is a unit loss.  Bits beyond size() are
+/// kept set so loss scans never see phantom losses in the tail word.
+class BitMask {
+public:
+    BitMask() = default;
+
+    /// `n` slots, all initialized to `delivered`.
+    explicit BitMask(std::size_t n, bool delivered = true);
+
+    /// Packs a vector<bool> mask.
+    static BitMask from_mask(const LossMask& mask);
+
+    /// Unpacks into the vector<bool> representation.
+    LossMask to_mask() const;
+
+    std::size_t size() const noexcept { return size_; }
+    bool empty() const noexcept { return size_ == 0; }
+
+    /// Delivery outcome of slot `i` (unchecked).
+    bool test(std::size_t i) const noexcept {
+        return (words_[i >> 6] >> (i & 63)) & 1u;
+    }
+
+    /// Sets slot `i` to `delivered` (unchecked).
+    void set(std::size_t i, bool delivered) noexcept {
+        const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+        if (delivered) {
+            words_[i >> 6] |= bit;
+        } else {
+            words_[i >> 6] &= ~bit;
+        }
+    }
+
+    /// Backing words, least-significant bit = lowest slot.  Tail bits past
+    /// size() are set (delivered).
+    const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+
+    bool operator==(const BitMask& rhs) const noexcept = default;
+
+private:
+    std::vector<std::uint64_t> words_;
+    std::size_t size_ = 0;
+};
 
 /// Summary of one window (or one whole stream) of playback slots.
 struct ContinuityReport {
@@ -42,6 +89,14 @@ std::size_t aggregate_loss_count(const LossMask& delivered);
 /// Full continuity report for one mask.
 ContinuityReport measure_continuity(const LossMask& delivered);
 
+// Bit-packed fast paths: identical results to the LossMask versions above
+// (property-tested against them), but scan 64 slots per word using
+// popcount / countr_zero instead of one branch per slot.
+std::vector<std::size_t> loss_runs(const BitMask& delivered);
+std::size_t consecutive_loss(const BitMask& delivered);
+std::size_t aggregate_loss_count(const BitMask& delivered);
+ContinuityReport measure_continuity(const BitMask& delivered);
+
 /// Accumulates continuity over a sequence of buffer windows, tracking the
 /// per-window CLF series the paper plots in Figure 8 plus its mean /
 /// deviation rows.  Window boundaries do NOT merge loss runs: each window is
@@ -50,6 +105,7 @@ class ContinuityMeter {
 public:
     /// Records one buffer window worth of playback outcomes.
     void add_window(const LossMask& delivered);
+    void add_window(const BitMask& delivered);
 
     std::size_t windows() const noexcept { return clf_series_.size(); }
 
@@ -59,12 +115,15 @@ public:
     /// Mean / deviation of per-window CLF (the paper's "Mean 1.46, Dev 0.56").
     sim::RunningStats clf_stats() const { return clf_series_.y_stats(); }
 
-    /// Continuity aggregated over all slots of all windows.
-    ContinuityReport total() const noexcept { return total_; }
+    /// Continuity aggregated over all slots of all windows.  The ALF ratio
+    /// is computed here, once, rather than re-divided on every add_window.
+    ContinuityReport total() const noexcept;
 
 private:
+    void accumulate(const ContinuityReport& w);
+
     sim::TimeSeries clf_series_;
-    ContinuityReport total_;
+    ContinuityReport total_;  // alf field unused; derived lazily in total()
 };
 
 }  // namespace espread

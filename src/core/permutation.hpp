@@ -11,6 +11,7 @@
 #include <initializer_list>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace espread {
@@ -36,31 +37,35 @@ public:
     explicit Permutation(std::vector<std::size_t> image);
     Permutation(std::initializer_list<std::size_t> image);
 
-    std::size_t size() const noexcept { return image_.size(); }
+    [[nodiscard]] std::size_t size() const noexcept { return image_.size(); }
 
     /// Playback index carried in transmission slot `slot`.
-    std::size_t at(std::size_t slot) const {
+    [[nodiscard]] std::size_t at(std::size_t slot) const {
         if (slot >= image_.size()) throw std::out_of_range("Permutation::at");
         return image_[slot];
     }
-    std::size_t operator[](std::size_t slot) const noexcept { return image_[slot]; }
+    [[nodiscard]] std::size_t operator[](std::size_t slot) const noexcept {
+        return image_[slot];
+    }
 
-    const std::vector<std::size_t>& image() const noexcept { return image_; }
+    [[nodiscard]] const std::vector<std::size_t>& image() const noexcept {
+        return image_;
+    }
 
     /// Inverse permutation: inverse()[original] == slot.
-    Permutation inverse() const;
+    [[nodiscard]] Permutation inverse() const;
 
     /// Composition: (this ∘ other)[i] == this[other[i]].  Sizes must match.
-    Permutation compose(const Permutation& other) const;
+    [[nodiscard]] Permutation compose(const Permutation& other) const;
 
-    bool is_identity() const noexcept;
+    [[nodiscard]] bool is_identity() const noexcept;
 
     bool operator==(const Permutation& rhs) const noexcept = default;
 
     /// Reorders `items` (playback order) into transmission order:
     /// result[slot] = items[perm[slot]].
     template <typename T>
-    std::vector<T> apply(const std::vector<T>& items) const {
+    [[nodiscard]] std::vector<T> apply(const std::vector<T>& items) const {
         require_size(items.size());
         std::vector<T> out;
         out.reserve(items.size());
@@ -70,16 +75,52 @@ public:
         return out;
     }
 
+    /// Move-aware apply(): each source element is consumed exactly once
+    /// (the image is a bijection), so expensive payloads are moved rather
+    /// than copied into transmission order.
+    template <typename T>
+    [[nodiscard]] std::vector<T> apply(std::vector<T>&& items) const {
+        require_size(items.size());
+        std::vector<T> out;
+        out.reserve(items.size());
+        for (std::size_t slot = 0; slot < image_.size(); ++slot) {
+            out.push_back(std::move(items[image_[slot]]));
+        }
+        return out;
+    }
+
     /// Restores playback order from transmission order:
     /// result[perm[slot]] = items[slot].  Inverse of apply().
     template <typename T>
-    std::vector<T> unapply(const std::vector<T>& items) const {
+    [[nodiscard]] std::vector<T> unapply(const std::vector<T>& items) const {
         require_size(items.size());
         std::vector<T> out(items.size());
         for (std::size_t slot = 0; slot < image_.size(); ++slot) {
             out[image_[slot]] = items[slot];
         }
         return out;
+    }
+
+    /// apply() into a caller-owned scratch buffer: no allocation once `out`
+    /// has reached capacity.  `out` must not alias `items`.
+    template <typename T>
+    void apply_into(const std::vector<T>& items, std::vector<T>& out) const {
+        require_size(items.size());
+        out.resize(items.size());
+        for (std::size_t slot = 0; slot < image_.size(); ++slot) {
+            out[slot] = items[image_[slot]];
+        }
+    }
+
+    /// unapply() into a caller-owned scratch buffer: no allocation once
+    /// `out` has reached capacity.  `out` must not alias `items`.
+    template <typename T>
+    void unapply_into(const std::vector<T>& items, std::vector<T>& out) const {
+        require_size(items.size());
+        out.resize(items.size());
+        for (std::size_t slot = 0; slot < image_.size(); ++slot) {
+            out[image_[slot]] = items[slot];
+        }
     }
 
     /// Human-readable 1-based rendering, e.g. "01 06 11 16 ..." as printed

@@ -26,15 +26,17 @@ const Permutation& ErrorSpreader::begin_window() {
 }
 
 LossMask ErrorSpreader::unspread(const LossMask& received_tx_order) const {
+    LossMask playback;
+    unspread_into(received_tx_order, playback);
+    return playback;
+}
+
+void ErrorSpreader::unspread_into(const LossMask& received_tx_order,
+                                  LossMask& playback) const {
     if (received_tx_order.size() != window()) {
         throw std::invalid_argument("ErrorSpreader::unspread: mask size != window");
     }
-    const Permutation& perm = *current_;
-    LossMask playback(window(), true);
-    for (std::size_t slot = 0; slot < window(); ++slot) {
-        playback[perm[slot]] = received_tx_order[slot];
-    }
-    return playback;
+    current_->unapply_into(received_tx_order, playback);
 }
 
 void ErrorSpreader::pin_bound(std::size_t b) noexcept {

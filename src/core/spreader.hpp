@@ -53,7 +53,14 @@ public:
     /// Receiver side: converts a delivery mask in transmission order into a
     /// playback-order mask using the current window's permutation.
     /// Throws std::invalid_argument on size mismatch.
-    LossMask unspread(const LossMask& received_tx_order) const;
+    [[nodiscard]] LossMask unspread(const LossMask& received_tx_order) const;
+
+    /// unspread() into a caller-owned scratch buffer — the allocation-free
+    /// fast path for per-window loops (Monte-Carlo trials unspread the same
+    /// window size thousands of times).  `playback` must not alias the
+    /// input.
+    void unspread_into(const LossMask& received_tx_order,
+                       LossMask& playback) const;
 
     /// Applies one window's feedback (max burst observed in transmission
     /// order) to the estimator; affects permutations of later windows only.

@@ -1,0 +1,160 @@
+#include "exp/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <latch>
+#include <vector>
+
+#include "exp/thread_pool.hpp"
+#include "sim/rng.hpp"
+
+namespace espread::exp {
+
+namespace {
+
+/// Reduces one finished session into the per-trial accumulator.
+TrialOutcome reduce_session(const proto::SessionResult& r, std::uint64_t seed) {
+    TrialOutcome t;
+    t.seed = seed;
+    t.windows = r.windows.size();
+    for (const proto::WindowReport& w : r.windows) {
+        t.window_clf.add(static_cast<double>(w.clf));
+        t.clf_histogram.add(static_cast<std::int64_t>(w.clf));
+        t.retransmissions += w.retransmissions;
+    }
+    t.unit_losses = r.total.unit_losses;
+    t.slots = r.total.slots;
+    t.alf = r.total.alf;
+    return t;
+}
+
+bool parse_size_flag(const char* arg, const char* name, std::size_t* out) {
+    const std::size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(arg + len + 1, &end, 10);
+    if (end == arg + len + 1 || *end != '\0') return false;
+    *out = static_cast<std::size_t>(v);
+    return true;
+}
+
+}  // namespace
+
+RunnerOptions parse_runner_args(int argc, char** argv, RunnerOptions defaults) {
+    RunnerOptions opts = defaults;
+    for (int i = 1; i < argc; ++i) {
+        std::size_t v = 0;
+        if (parse_size_flag(argv[i], "--trials", &v) && v > 0) {
+            opts.trials = v;
+        } else if (parse_size_flag(argv[i], "--threads", &v)) {
+            opts.threads = v;
+        }
+    }
+    return opts;
+}
+
+struct MonteCarloRunner::Impl {
+    explicit Impl(std::size_t threads) : pool(threads) {}
+    ThreadPool pool;
+};
+
+MonteCarloRunner::MonteCarloRunner(RunnerOptions options) : options_(options) {
+    if (options_.trials == 0) options_.trials = 1;
+    const std::size_t t = options_.threads == 0 ? ThreadPool::hardware_threads()
+                                                : options_.threads;
+    options_.threads = t;
+    impl_ = std::make_unique<Impl>(t);
+}
+
+MonteCarloRunner::~MonteCarloRunner() = default;
+
+std::size_t MonteCarloRunner::threads() const noexcept {
+    return impl_->pool.size();
+}
+
+TrialSummary MonteCarloRunner::run(
+    const proto::SessionConfig& template_config) const {
+    template_config.validate();  // fail fast on the submitting thread
+
+    const std::size_t n = options_.trials;
+    std::vector<TrialOutcome> outcomes(n);
+    const auto start = std::chrono::steady_clock::now();
+
+    {
+        std::latch done(static_cast<std::ptrdiff_t>(n));
+        for (std::size_t i = 0; i < n; ++i) {
+            impl_->pool.submit([&, i] {
+                proto::SessionConfig cfg = template_config;
+                cfg.seed = sim::derive_seed(template_config.seed, i);
+                outcomes[i] = reduce_session(proto::run_session(cfg), cfg.seed);
+                done.count_down();
+            });
+        }
+        done.wait();
+    }
+
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start;
+
+    // Deterministic reduction: trial order, independent of which thread
+    // finished when.  RunningStats::merge is the parallel Welford merge, so
+    // pooled moments are exact, not averages-of-averages.
+    TrialSummary s;
+    s.trials = n;
+    s.threads = impl_->pool.size();
+    for (const TrialOutcome& t : outcomes) {
+        s.clf_mean.add(t.window_clf.mean());
+        s.clf_dev.add(t.window_clf.deviation());
+        s.window_clf.merge(t.window_clf);
+        s.alf.add(t.alf);
+        s.retransmissions.add(static_cast<double>(t.retransmissions));
+        s.clf_histogram.merge(t.clf_histogram);
+        s.total_windows += t.windows;
+    }
+    s.wall_seconds = wall.count();
+    s.windows_per_second =
+        wall.count() > 0.0 ? static_cast<double>(s.total_windows) / wall.count()
+                           : 0.0;
+    return s;
+}
+
+void append_stats(JsonWriter& json, const sim::RunningStats& stats) {
+    json.begin_object();
+    json.key("count").value(static_cast<std::uint64_t>(stats.count()));
+    json.key("mean").value(stats.mean());
+    json.key("dev").value(stats.deviation());
+    json.key("min").value(stats.min());
+    json.key("max").value(stats.max());
+    json.end_object();
+}
+
+void append_summary(JsonWriter& json, const TrialSummary& summary) {
+    json.begin_object();
+    json.key("trials").value(static_cast<std::uint64_t>(summary.trials));
+    json.key("threads").value(static_cast<std::uint64_t>(summary.threads));
+    json.key("total_windows")
+        .value(static_cast<std::uint64_t>(summary.total_windows));
+    json.key("wall_seconds").value(summary.wall_seconds);
+    json.key("windows_per_second").value(summary.windows_per_second);
+    json.key("clf_mean");
+    append_stats(json, summary.clf_mean);
+    json.key("clf_dev");
+    append_stats(json, summary.clf_dev);
+    json.key("window_clf");
+    append_stats(json, summary.window_clf);
+    json.key("alf");
+    append_stats(json, summary.alf);
+    json.key("retransmissions");
+    append_stats(json, summary.retransmissions);
+    json.key("clf_histogram").begin_object();
+    for (const auto& [clf, count] : summary.clf_histogram.bins()) {
+        json.key(std::to_string(clf))
+            .value(static_cast<std::uint64_t>(count));
+    }
+    json.end_object();
+    json.end_object();
+}
+
+}  // namespace espread::exp

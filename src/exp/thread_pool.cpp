@@ -1,0 +1,59 @@
+#include "exp/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace espread::exp {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    const std::size_t n = std::max<std::size_t>(threads, 1);
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_available_.notify_all();
+    for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+        ++in_flight_;
+    }
+    work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+std::size_t ThreadPool::hardware_threads() noexcept {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::worker_loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        work_available_.wait(lock,
+                             [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ set and queue drained
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        task();
+        lock.lock();
+        if (--in_flight_ == 0) all_done_.notify_all();
+    }
+}
+
+}  // namespace espread::exp

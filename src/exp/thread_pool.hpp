@@ -1,0 +1,58 @@
+// Fixed-size worker pool for the Monte-Carlo experiment engine.
+//
+// Deliberately minimal: tasks are type-erased thunks, the queue is FIFO,
+// and there is no futures machinery — the runner owns result placement
+// (each trial writes its own slot of a pre-sized vector) so the pool never
+// has to move data between threads.  Determinism of experiment *results*
+// is a property of the seed-derivation scheme, not of this pool; the pool
+// only affects wall-clock.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace espread::exp {
+
+/// Fixed set of worker threads draining a FIFO task queue.
+class ThreadPool {
+public:
+    /// Starts `threads` workers (clamped to >= 1).
+    explicit ThreadPool(std::size_t threads);
+
+    /// Drains the queue, then joins every worker.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Enqueues one task.  Tasks must not throw (the pool has no channel to
+    /// report exceptions); wrap fallible work before submitting.
+    void submit(std::function<void()> task);
+
+    /// Blocks until every submitted task has finished executing.
+    void wait_idle();
+
+    /// std::thread::hardware_concurrency with a floor of 1 (the standard
+    /// allows it to return 0 on unknown platforms).
+    static std::size_t hardware_threads() noexcept;
+
+private:
+    void worker_loop();
+
+    std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::condition_variable all_done_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    std::size_t in_flight_ = 0;  ///< queued + currently executing tasks
+    bool stopping_ = false;
+};
+
+}  // namespace espread::exp

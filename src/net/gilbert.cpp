@@ -1,5 +1,7 @@
 #include "net/gilbert.hpp"
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -14,11 +16,29 @@ GilbertLoss::GilbertLoss(GilbertParams params, sim::Rng rng)
     }
 }
 
+std::uint64_t GilbertLoss::sample_dwell() noexcept {
+    const double stay = state_ == State::kGood ? params_.p_good : params_.p_bad;
+    if (stay <= 0.0) return 1;  // leaves after every packet
+    if (stay >= 1.0) {
+        return std::numeric_limits<std::uint64_t>::max();  // absorbed
+    }
+    // Geometric sojourn by inversion: dwell = 1 + floor(log(1-u)/log(stay))
+    // with u uniform in [0, 1) gives P(dwell = k) = stay^(k-1) * (1-stay),
+    // exactly the step-by-step chain's distribution, for one log instead of
+    // one Bernoulli draw per packet.
+    const double extra = std::floor(std::log1p(-rng_.uniform()) / std::log(stay));
+    constexpr double kCap = 9.0e18;  // stays below uint64 range
+    if (!(extra < kCap)) return std::numeric_limits<std::uint64_t>::max();
+    return 1 + static_cast<std::uint64_t>(extra);
+}
+
 bool GilbertLoss::drop_next() noexcept {
-    // The packet experiences the current state, then the chain transitions.
-    // The degenerate emission probabilities (the classic Gilbert defaults)
-    // avoid an RNG draw so classic-model streams are unchanged by the
-    // Gilbert–Elliott extension.
+    // The packet experiences the current state, then the chain transitions
+    // (here: the sojourn counter expires).  The degenerate emission
+    // probabilities (the classic Gilbert defaults) avoid a per-packet RNG
+    // draw so classic-model streams are unchanged by the Gilbert–Elliott
+    // extension.
+    if (remaining_ == 0) remaining_ = sample_dwell();
     const double h = state_ == State::kBad ? params_.loss_bad : params_.loss_good;
     bool lost;
     if (h <= 0.0) {
@@ -28,8 +48,7 @@ bool GilbertLoss::drop_next() noexcept {
     } else {
         lost = rng_.bernoulli(h);
     }
-    const double stay = state_ == State::kGood ? params_.p_good : params_.p_bad;
-    if (!rng_.bernoulli(stay)) {
+    if (--remaining_ == 0) {
         state_ = state_ == State::kGood ? State::kBad : State::kGood;
     }
     return lost;

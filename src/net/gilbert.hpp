@@ -30,6 +30,17 @@ struct GilbertParams {
 };
 
 /// Per-packet loss process.
+///
+/// Implementation note: rather than one Bernoulli draw per packet to decide
+/// "stay or leave", the chain samples the whole geometric sojourn (dwell
+/// time) of each state by inversion when the state is entered, then merely
+/// decrements a counter per packet.  The dwell distribution is identical to
+/// the step-by-step chain — P(dwell = k) = stay^(k-1) * (1 - stay) — so all
+/// statistics are unchanged, but the per-packet hot path costs one RNG draw
+/// per *burst/gap* instead of per packet (for the classic emission
+/// probabilities, zero per-packet draws).  Streams for a given seed differ
+/// from the pre-batching implementation; determinism per (params, seed) is
+/// preserved.
 class GilbertLoss {
 public:
     enum class State { kGood, kBad };
@@ -54,9 +65,13 @@ public:
     static double mean_burst_length(const GilbertParams& p) noexcept;
 
 private:
+    /// Samples the current state's remaining dwell time (>= 1 packets).
+    std::uint64_t sample_dwell() noexcept;
+
     GilbertParams params_;
     sim::Rng rng_;
     State state_ = State::kGood;
+    std::uint64_t remaining_ = 0;  ///< packets left in the current sojourn
 };
 
 }  // namespace espread::net

@@ -87,6 +87,15 @@ std::uint64_t Rng::geometric(double p) noexcept {
     return n;
 }
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) noexcept {
+    // splitmix64 advances its state by the golden-ratio constant per draw,
+    // so the index-th output is the finalizer applied to
+    // base + (index + 1) * GOLDEN — random access into the same stream the
+    // iterative form produces.
+    std::uint64_t s = base + index * 0x9E3779B97F4A7C15ULL;
+    return splitmix64(s);
+}
+
 Rng Rng::split(std::uint64_t stream_id) noexcept {
     // Mix the current state with the stream id through SplitMix64 to derive
     // a decorrelated child seed.

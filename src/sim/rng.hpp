@@ -75,4 +75,12 @@ private:
     std::array<std::uint64_t, 4> state_{};
 };
 
+/// The `index`-th element of the SplitMix64 stream anchored at `base`
+/// (0-based), computed by random access rather than iteration.  Used to
+/// derive per-trial seeds for Monte-Carlo experiments: the mapping depends
+/// only on (base, index), so a trial's seed — and therefore its entire
+/// simulation — is identical no matter which thread runs it or in what
+/// order trials are scheduled.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) noexcept;
+
 }  // namespace espread::sim

@@ -65,6 +65,16 @@ void Histogram::add(std::int64_t value) noexcept {
     ++total_;
 }
 
+void Histogram::add(std::int64_t value, std::size_t count) noexcept {
+    if (count == 0) return;
+    bins_[value] += count;
+    total_ += count;
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+    for (const auto& [value, count] : other.bins_) add(value, count);
+}
+
 std::size_t Histogram::count(std::int64_t value) const noexcept {
     const auto it = bins_.find(value);
     return it == bins_.end() ? 0 : it->second;

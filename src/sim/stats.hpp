@@ -71,6 +71,12 @@ class Histogram {
 public:
     void add(std::int64_t value) noexcept;
 
+    /// Adds `count` observations of `value` at once (bulk merge).
+    void add(std::int64_t value, std::size_t count) noexcept;
+
+    /// Merges another histogram's bins into this one.
+    void merge(const Histogram& other) noexcept;
+
     std::size_t total() const noexcept { return total_; }
     std::size_t count(std::int64_t value) const noexcept;
     /// Fraction of observations equal to `value`; 0 if no observations.

@@ -31,24 +31,24 @@ TEST(Metrics, LossRunsEnumeratesMaximalRuns) {
     EXPECT_EQ(loss_runs({true, false, false, true, false}),
               (std::vector<std::size_t>{2, 1}));
     EXPECT_EQ(loss_runs({false, false, false}), (std::vector<std::size_t>{3}));
-    EXPECT_TRUE(loss_runs({true, true}).empty());
-    EXPECT_TRUE(loss_runs({}).empty());
+    EXPECT_TRUE(loss_runs(LossMask{true, true}).empty());
+    EXPECT_TRUE(loss_runs(LossMask{}).empty());
 }
 
 TEST(Metrics, ConsecutiveLossEdgeCases) {
-    EXPECT_EQ(consecutive_loss({}), 0u);
+    EXPECT_EQ(consecutive_loss(LossMask{}), 0u);
     EXPECT_EQ(consecutive_loss({true, true, true}), 0u);
     EXPECT_EQ(consecutive_loss({false, false, false}), 3u);
     EXPECT_EQ(consecutive_loss({false, true, false, false}), 2u);
 }
 
 TEST(Metrics, AggregateLossCounts) {
-    EXPECT_EQ(aggregate_loss_count({}), 0u);
+    EXPECT_EQ(aggregate_loss_count(LossMask{}), 0u);
     EXPECT_EQ(aggregate_loss_count({false, true, false}), 2u);
 }
 
 TEST(Metrics, EmptyMaskReport) {
-    const ContinuityReport r = measure_continuity({});
+    const ContinuityReport r = measure_continuity(LossMask{});
     EXPECT_EQ(r.slots, 0u);
     EXPECT_EQ(r.clf, 0u);
     EXPECT_DOUBLE_EQ(r.alf, 0.0);

@@ -1,0 +1,348 @@
+// Tests for the parallel Monte-Carlo experiment engine (exp::ThreadPool,
+// exp::MonteCarloRunner) and the bit-packed loss-mask fast paths it
+// multiplies: results must be byte-identical across thread counts, and the
+// BitMask metrics must agree exactly with the vector<bool> references.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "core/cpo.hpp"
+#include "core/metrics.hpp"
+#include "core/permutation.hpp"
+#include "core/spreader.hpp"
+#include "exp/json.hpp"
+#include "exp/runner.hpp"
+#include "exp/thread_pool.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using espread::BitMask;
+using espread::LossMask;
+using espread::Permutation;
+using espread::exp::JsonWriter;
+using espread::exp::MonteCarloRunner;
+using espread::exp::RunnerOptions;
+using espread::exp::ThreadPool;
+using espread::exp::TrialSummary;
+using espread::proto::SessionConfig;
+using espread::proto::StreamKind;
+
+// ---- ThreadPool ----------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 1000; ++i) {
+        pool.submit([&counter] { ++counter; });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+    ThreadPool pool(2);
+    pool.wait_idle();  // must not deadlock
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 100; ++i) pool.submit([&counter] { ++counter; });
+    }
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ClampsZeroThreadsToOne) {
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    std::atomic<int> counter{0};
+    pool.submit([&counter] { ++counter; });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 1);
+}
+
+// ---- seed derivation -----------------------------------------------------
+
+TEST(DeriveSeed, IsDeterministicAndIndexSensitive) {
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        const std::uint64_t s = espread::sim::derive_seed(42, i);
+        EXPECT_EQ(s, espread::sim::derive_seed(42, i));
+        seen.insert(s);
+    }
+    EXPECT_EQ(seen.size(), 1000u);  // no collisions across trial indices
+    EXPECT_NE(espread::sim::derive_seed(1, 0), espread::sim::derive_seed(2, 0));
+}
+
+// ---- MonteCarloRunner ----------------------------------------------------
+
+SessionConfig small_config() {
+    SessionConfig cfg;
+    cfg.stream.kind = StreamKind::kMjpeg;  // dependency-free: fast sessions
+    cfg.stream.ldus_per_window = 24;
+    cfg.num_windows = 6;
+    cfg.data_loss = {0.92, 0.6};
+    cfg.feedback_loss = {0.92, 0.6};
+    cfg.seed = 42;
+    return cfg;
+}
+
+void expect_stats_identical(const espread::sim::RunningStats& a,
+                            const espread::sim::RunningStats& b) {
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_EQ(a.mean(), b.mean());
+    EXPECT_EQ(a.variance(), b.variance());
+    EXPECT_EQ(a.min(), b.min());
+    EXPECT_EQ(a.max(), b.max());
+}
+
+TEST(MonteCarloRunner, SummaryIsBitIdenticalAcrossThreadCounts) {
+    const SessionConfig cfg = small_config();
+    constexpr std::size_t kTrials = 12;
+
+    MonteCarloRunner single({kTrials, 1});
+    const std::size_t many_threads =
+        std::max<std::size_t>(4, ThreadPool::hardware_threads());
+    MonteCarloRunner parallel({kTrials, many_threads});
+    ASSERT_GT(parallel.threads(), 1u);
+
+    const TrialSummary a = single.run(cfg);
+    const TrialSummary b = parallel.run(cfg);
+
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.total_windows, b.total_windows);
+    expect_stats_identical(a.clf_mean, b.clf_mean);
+    expect_stats_identical(a.clf_dev, b.clf_dev);
+    expect_stats_identical(a.window_clf, b.window_clf);
+    expect_stats_identical(a.alf, b.alf);
+    expect_stats_identical(a.retransmissions, b.retransmissions);
+    EXPECT_EQ(a.clf_histogram.bins(), b.clf_histogram.bins());
+
+    // The JSON rendering (minus the timing fields) is the byte-level
+    // contract benches persist; spot-check one stats object end to end.
+    JsonWriter ja, jb;
+    espread::exp::append_stats(ja, a.window_clf);
+    espread::exp::append_stats(jb, b.window_clf);
+    EXPECT_EQ(ja.str(), jb.str());
+}
+
+TEST(MonteCarloRunner, RepeatedRunsAreIdentical) {
+    MonteCarloRunner runner({8, 0});
+    const TrialSummary a = runner.run(small_config());
+    const TrialSummary b = runner.run(small_config());
+    expect_stats_identical(a.window_clf, b.window_clf);
+    expect_stats_identical(a.alf, b.alf);
+}
+
+TEST(MonteCarloRunner, TrialsSeeDifferentChannelRealizations) {
+    MonteCarloRunner runner({8, 2});
+    const TrialSummary s = runner.run(small_config());
+    EXPECT_EQ(s.trials, 8u);
+    EXPECT_EQ(s.total_windows, 8u * 6u);
+    EXPECT_EQ(s.window_clf.count(), 8u * 6u);
+    // Independent Gilbert realizations: per-trial ALF must not be constant.
+    EXPECT_GT(s.alf.max(), s.alf.min());
+}
+
+TEST(MonteCarloRunner, CountsWindowsAndHistogramConsistently) {
+    MonteCarloRunner runner({4, 2});
+    const TrialSummary s = runner.run(small_config());
+    EXPECT_EQ(s.clf_histogram.total(), s.total_windows);
+    EXPECT_EQ(s.window_clf.count(), s.total_windows);
+}
+
+TEST(MonteCarloRunner, ValidatesTemplateConfig) {
+    MonteCarloRunner runner({2, 1});
+    SessionConfig cfg = small_config();
+    cfg.num_windows = 0;
+    EXPECT_THROW(runner.run(cfg), std::invalid_argument);
+}
+
+TEST(ParseRunnerArgs, ParsesTrialsAndThreads) {
+    const char* argv_c[] = {"bench", "--trials=64", "--threads=3"};
+    const auto opts = espread::exp::parse_runner_args(
+        3, const_cast<char**>(argv_c), {32, 0});
+    EXPECT_EQ(opts.trials, 64u);
+    EXPECT_EQ(opts.threads, 3u);
+}
+
+TEST(ParseRunnerArgs, IgnoresMalformedFlags) {
+    const char* argv_c[] = {"bench", "--trials=abc", "--threads"};
+    const auto opts = espread::exp::parse_runner_args(
+        3, const_cast<char**>(argv_c), {32, 2});
+    EXPECT_EQ(opts.trials, 32u);
+    EXPECT_EQ(opts.threads, 2u);
+}
+
+// ---- BitMask vs vector<bool> references ----------------------------------
+
+LossMask random_mask(espread::sim::Rng& rng, std::size_t n, double loss_p) {
+    LossMask m(n);
+    for (std::size_t i = 0; i < n; ++i) m[i] = !rng.bernoulli(loss_p);
+    return m;
+}
+
+void expect_metrics_match(const LossMask& reference) {
+    const BitMask packed = BitMask::from_mask(reference);
+    ASSERT_EQ(packed.size(), reference.size());
+    EXPECT_EQ(espread::aggregate_loss_count(packed),
+              espread::aggregate_loss_count(reference));
+    EXPECT_EQ(espread::consecutive_loss(packed),
+              espread::consecutive_loss(reference));
+    EXPECT_EQ(espread::loss_runs(packed), espread::loss_runs(reference));
+    const auto a = espread::measure_continuity(packed);
+    const auto b = espread::measure_continuity(reference);
+    EXPECT_EQ(a.slots, b.slots);
+    EXPECT_EQ(a.unit_losses, b.unit_losses);
+    EXPECT_EQ(a.clf, b.clf);
+    EXPECT_DOUBLE_EQ(a.alf, b.alf);
+}
+
+TEST(BitMask, RoundTripsThroughLossMask) {
+    espread::sim::Rng rng{7};
+    for (const std::size_t n : {0u, 1u, 63u, 64u, 65u, 128u, 200u}) {
+        const LossMask m = random_mask(rng, n, 0.3);
+        EXPECT_EQ(BitMask::from_mask(m).to_mask(), m);
+    }
+}
+
+TEST(BitMask, MetricsMatchReferenceOnRandomMasks) {
+    espread::sim::Rng rng{2024};
+    for (const double loss_p : {0.05, 0.3, 0.7, 0.95}) {
+        for (std::size_t n = 0; n <= 192; ++n) {
+            expect_metrics_match(random_mask(rng, n, loss_p));
+        }
+    }
+}
+
+TEST(BitMask, WordBoundaryRuns) {
+    // Runs straddling bits 63/64/65 are where carry bugs live.
+    for (const std::size_t start : {60u, 62u, 63u, 64u, 65u}) {
+        for (const std::size_t len : {1u, 2u, 3u, 4u, 64u, 65u, 130u}) {
+            LossMask m(256, true);
+            for (std::size_t i = start; i < std::min<std::size_t>(start + len, 256); ++i) {
+                m[i] = false;
+            }
+            expect_metrics_match(m);
+        }
+    }
+}
+
+TEST(BitMask, AllLostAndAllDelivered) {
+    for (const std::size_t n : {1u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+        expect_metrics_match(LossMask(n, false));
+        expect_metrics_match(LossMask(n, true));
+        const BitMask all_lost(n, false);
+        EXPECT_EQ(espread::consecutive_loss(all_lost), n);
+        EXPECT_EQ(espread::aggregate_loss_count(all_lost), n);
+        const BitMask all_ok(n, true);
+        EXPECT_EQ(espread::consecutive_loss(all_ok), 0u);
+        EXPECT_EQ(espread::aggregate_loss_count(all_ok), 0u);
+    }
+}
+
+TEST(BitMask, SetAndTest) {
+    BitMask m(130, true);
+    m.set(0, false);
+    m.set(64, false);
+    m.set(129, false);
+    EXPECT_FALSE(m.test(0));
+    EXPECT_FALSE(m.test(64));
+    EXPECT_FALSE(m.test(129));
+    EXPECT_TRUE(m.test(1));
+    EXPECT_EQ(espread::aggregate_loss_count(m), 3u);
+    m.set(64, true);
+    EXPECT_TRUE(m.test(64));
+    EXPECT_EQ(espread::aggregate_loss_count(m), 2u);
+}
+
+TEST(ContinuityMeter, BitMaskWindowsMatchLossMaskWindows) {
+    espread::sim::Rng rng{11};
+    espread::ContinuityMeter a;
+    espread::ContinuityMeter b;
+    for (int w = 0; w < 20; ++w) {
+        const LossMask m = random_mask(rng, 96, 0.2);
+        a.add_window(m);
+        b.add_window(BitMask::from_mask(m));
+    }
+    EXPECT_EQ(a.total().slots, b.total().slots);
+    EXPECT_EQ(a.total().unit_losses, b.total().unit_losses);
+    EXPECT_EQ(a.total().clf, b.total().clf);
+    EXPECT_DOUBLE_EQ(a.total().alf, b.total().alf);
+}
+
+// ---- scratch-buffer permutation paths ------------------------------------
+
+TEST(Permutation, ApplyIntoMatchesApply) {
+    espread::sim::Rng rng{5};
+    const Permutation p =
+        espread::calculate_permutation(96, 17).perm;
+    std::vector<int> items(96);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        items[i] = static_cast<int>(rng.next_u64() & 0xFFFF);
+    }
+    std::vector<int> scratch;
+    p.apply_into(items, scratch);
+    EXPECT_EQ(scratch, p.apply(items));
+    p.unapply_into(items, scratch);
+    EXPECT_EQ(scratch, p.unapply(items));
+    // Round trip through the scratch paths restores the original.
+    std::vector<int> tx, back;
+    p.apply_into(items, tx);
+    p.unapply_into(tx, back);
+    EXPECT_EQ(back, items);
+}
+
+TEST(Permutation, MoveApplyMatchesCopyApply) {
+    const Permutation p = espread::calculate_permutation(24, 7).perm;
+    std::vector<std::string> items;
+    for (int i = 0; i < 24; ++i) items.push_back("frame-" + std::to_string(i));
+    const auto copied = p.apply(items);
+    auto moved = p.apply(std::move(items));
+    EXPECT_EQ(moved, copied);
+}
+
+TEST(ErrorSpreader, UnspreadIntoMatchesUnspread) {
+    espread::ErrorSpreader spreader{96};
+    spreader.on_feedback(9);
+    (void)spreader.begin_window();
+    espread::sim::Rng rng{3};
+    LossMask rx(96);
+    for (std::size_t i = 0; i < rx.size(); ++i) rx[i] = !rng.bernoulli(0.25);
+    LossMask scratch;
+    spreader.unspread_into(rx, scratch);
+    EXPECT_EQ(scratch, spreader.unspread(rx));
+}
+
+// ---- JSON writer ----------------------------------------------------------
+
+TEST(JsonWriter, EmitsWellFormedNestedStructure) {
+    JsonWriter j;
+    j.begin_object();
+    j.key("name").value("fig8");
+    j.key("trials").value(std::uint64_t{32});
+    j.key("alf").value(0.25);
+    j.key("ok").value(true);
+    j.key("panels").begin_array();
+    j.begin_object().key("p_bad").value(0.6).end_object();
+    j.begin_object().key("p_bad").value(0.7).end_object();
+    j.end_array();
+    j.end_object();
+    EXPECT_EQ(j.str(),
+              "{\"name\":\"fig8\",\"trials\":32,\"alf\":0.25,\"ok\":true,"
+              "\"panels\":[{\"p_bad\":0.59999999999999998},"
+              "{\"p_bad\":0.69999999999999996}]}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+    JsonWriter j;
+    j.value("a\"b\\c\nd");
+    EXPECT_EQ(j.str(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+}  // namespace

@@ -213,13 +213,23 @@ TEST(Session, FecInterleavingImprovesRecoveryUnderBursts) {
     depth1.num_windows = 50;
     SessionConfig depth4 = depth1;
     depth4.fec.interleave = 4;
-    const SessionResult r1 = run_session(depth1);
-    const SessionResult r4 = run_session(depth4);
-    // Same parity budget either way.
-    EXPECT_NEAR(static_cast<double>(r4.data_channel.sent),
-                static_cast<double>(r1.data_channel.sent),
-                0.02 * static_cast<double>(r1.data_channel.sent));
-    EXPECT_LT(r4.total.unit_losses, r1.total.unit_losses);
+    // A single channel realization can go either way by a packet or two, so
+    // compare totals pooled over several independent seeds.
+    std::size_t losses1 = 0;
+    std::size_t losses4 = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        depth1.seed = seed;
+        depth4.seed = seed;
+        const SessionResult r1 = run_session(depth1);
+        const SessionResult r4 = run_session(depth4);
+        // Same parity budget either way.
+        EXPECT_NEAR(static_cast<double>(r4.data_channel.sent),
+                    static_cast<double>(r1.data_channel.sent),
+                    0.02 * static_cast<double>(r1.data_channel.sent));
+        losses1 += r1.total.unit_losses;
+        losses4 += r4.total.unit_losses;
+    }
+    EXPECT_LT(losses4, losses1);
 }
 
 TEST(Session, TraceFileDrivenSession) {
