@@ -81,7 +81,7 @@ private:
 }  // namespace
 
 int main(int argc, char** argv) {
-    const auto opts = espread::exp::parse_runner_args(argc, argv, {32, 0});
+    const auto opts = espread::exp::parse_runner_args(argc, argv);
     MonteCarloRunner runner(opts);
     AblationReporter rep(runner);
 
@@ -193,7 +193,14 @@ int main(int argc, char** argv) {
     }
     json.end_array();
     json.end_object();
-    espread::exp::write_text_file("BENCH_ablation.json", json.str());
-    std::printf("wrote BENCH_ablation.json\n");
+    const std::string out =
+        opts.out_path.empty() ? "BENCH_ablation.json" : opts.out_path;
+    espread::exp::write_text_file(out, json.str());
+    std::printf("wrote %s\n", out.c_str());
+
+    if (!opts.trace_path.empty()) {
+        espread::exp::write_session_trace(base(), opts.trace_path);
+        std::printf("wrote %s\n", opts.trace_path.c_str());
+    }
     return 0;
 }

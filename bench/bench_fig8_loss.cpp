@@ -15,6 +15,7 @@
 //   P_bad = 0.6: un-scrambled mean 1.71 dev 0.92; scrambled mean 1.46 dev 0.56
 //   P_bad = 0.7: un-scrambled mean 1.63 dev 0.85; scrambled mean 1.56 dev 0.79
 #include <cstdio>
+#include <string>
 
 #include "exp/json.hpp"
 #include "exp/runner.hpp"
@@ -78,7 +79,7 @@ void append_panel(JsonWriter& json, const Panel& p) {
 }  // namespace
 
 int main(int argc, char** argv) {
-    const auto opts = espread::exp::parse_runner_args(argc, argv, {32, 0});
+    const auto opts = espread::exp::parse_runner_args(argc, argv);
     MonteCarloRunner runner(opts);
     constexpr std::uint64_t kSeed = 42;
 
@@ -123,7 +124,17 @@ int main(int argc, char** argv) {
     append_panel(json, panels[1]);
     json.end_array();
     json.end_object();
-    espread::exp::write_text_file("BENCH_fig8.json", json.str());
-    std::printf("wrote BENCH_fig8.json\n");
+    const std::string out =
+        opts.out_path.empty() ? "BENCH_fig8.json" : opts.out_path;
+    espread::exp::write_text_file(out, json.str());
+    std::printf("wrote %s\n", out.c_str());
+
+    if (!opts.trace_path.empty()) {
+        // One traced realization of the scrambled P_bad = 0.6 cell (trial
+        // 0's seed), for loading into Perfetto / chrome://tracing.
+        espread::exp::write_session_trace(
+            fig8_config(0.6, Scheme::kLayeredSpread, kSeed), opts.trace_path);
+        std::printf("wrote %s\n", opts.trace_path.c_str());
+    }
     return 0;
 }

@@ -9,6 +9,7 @@
 // Monte-Carlo runner), does the k-CPO window ordering beat IBO end to end?
 // Results are persisted to BENCH_table2.json.
 #include <cstdio>
+#include <string>
 
 #include "core/burst.hpp"
 #include "core/cpo.hpp"
@@ -66,7 +67,7 @@ int main(int argc, char** argv) {
         "degrades in the pathological region; k-CPO stays at the bound.\n");
 
     // ---- protocol-level IBO vs k-CPO over many channel realizations ----
-    const auto opts = espread::exp::parse_runner_args(argc, argv, {32, 0});
+    const auto opts = espread::exp::parse_runner_args(argc, argv);
     MonteCarloRunner runner(opts);
     std::printf(
         "\n== IBO vs k-CPO inside the full protocol "
@@ -103,7 +104,15 @@ int main(int argc, char** argv) {
     json.key("kcpo");
     espread::exp::append_summary(json, s_cpo);
     json.end_object();
-    espread::exp::write_text_file("BENCH_table2.json", json.str());
-    std::printf("wrote BENCH_table2.json\n");
+    const std::string out =
+        opts.out_path.empty() ? "BENCH_table2.json" : opts.out_path;
+    espread::exp::write_text_file(out, json.str());
+    std::printf("wrote %s\n", out.c_str());
+
+    if (!opts.trace_path.empty()) {
+        espread::exp::write_session_trace(session_config(Scheme::kLayeredSpread),
+                                          opts.trace_path);
+        std::printf("wrote %s\n", opts.trace_path.c_str());
+    }
     return 0;
 }

@@ -20,11 +20,13 @@ BurstEstimator::BurstEstimator(std::size_t window, double alpha)
     }
 }
 
-void BurstEstimator::update(std::size_t observed_max_burst) noexcept {
-    const double obs =
-        static_cast<double>(std::min(observed_max_burst, window_));
+void BurstEstimator::update(std::size_t observed_max_burst) {
+    const std::size_t clamped = std::min(observed_max_burst, window_);
+    const double obs = static_cast<double>(clamped);
+    const double old_estimate = estimate_;
     estimate_ = alpha_ * obs + (1.0 - alpha_) * estimate_;
     ++observations_;
+    if (observer_) observer_(clamped, old_estimate, estimate_);
 }
 
 SlidingMaxEstimator::SlidingMaxEstimator(std::size_t window, std::size_t history)
@@ -57,12 +59,17 @@ std::size_t SlidingMaxEstimator::bound() const noexcept {
     return std::clamp<std::size_t>(best, 1, window_);
 }
 
-std::size_t BurstEstimator::bound() const noexcept {
+std::size_t BurstEstimator::bound_for(double estimate,
+                                      std::size_t window) noexcept {
     // Tolerate floating-point dust from repeated averaging (an estimate of
     // 6 + 1e-11 must still round to 6, not 7).
-    const double ceiled = std::ceil(estimate_ - 1e-9);
+    const double ceiled = std::ceil(estimate - 1e-9);
     const std::size_t b = ceiled <= 1.0 ? 1 : static_cast<std::size_t>(ceiled);
-    return std::clamp<std::size_t>(b, 1, window_);
+    return std::clamp<std::size_t>(b, 1, window);
+}
+
+std::size_t BurstEstimator::bound() const noexcept {
+    return bound_for(estimate_, window_);
 }
 
 }  // namespace espread

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "core/metrics.hpp"
@@ -32,9 +33,18 @@ public:
     /// Throws std::invalid_argument for window == 0 or alpha outside [0, 1].
     explicit BurstEstimator(std::size_t window, double alpha = 0.5);
 
+    /// Called after each update() with the clamped observation and the
+    /// estimate before/after the exponential-average step.  Observability
+    /// hook: must not throw and must not call back into the estimator.
+    using UpdateObserver = std::function<void(
+        std::size_t observed, double old_estimate, double new_estimate)>;
+
     /// Incorporates one per-window observation of the max transmission
     /// burst.  Values larger than the window are clamped.
-    void update(std::size_t observed_max_burst) noexcept;
+    void update(std::size_t observed_max_burst);
+
+    /// Registers an observer of Eq. 1 steps (empty function detaches).
+    void set_observer(UpdateObserver observer) { observer_ = std::move(observer); }
 
     /// Smoothed estimate (real-valued).
     double estimate() const noexcept { return estimate_; }
@@ -42,6 +52,11 @@ public:
     /// Integer bound handed to calculatePermutation: ceil(estimate),
     /// clamped to [1, window].
     std::size_t bound() const noexcept;
+
+    /// The bound a given real-valued estimate maps to (the ceil-and-clamp
+    /// rule bound() applies), exposed so observers can translate estimate
+    /// transitions into bound transitions.
+    static std::size_t bound_for(double estimate, std::size_t window) noexcept;
 
     std::size_t window() const noexcept { return window_; }
     double alpha() const noexcept { return alpha_; }
@@ -52,6 +67,7 @@ private:
     double alpha_;
     double estimate_;
     std::size_t observations_ = 0;
+    UpdateObserver observer_;
 };
 
 /// Alternative to Eq. 1's exponential average: remember the last

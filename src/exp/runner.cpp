@@ -15,10 +15,11 @@ namespace espread::exp {
 namespace {
 
 /// Reduces one finished session into the per-trial accumulator.
-TrialOutcome reduce_session(const proto::SessionResult& r, std::uint64_t seed) {
+TrialOutcome reduce_session(proto::SessionResult r, std::uint64_t seed) {
     TrialOutcome t;
     t.seed = seed;
     t.windows = r.windows.size();
+    t.metrics = std::move(r.metrics);
     for (const proto::WindowReport& w : r.windows) {
         t.window_clf.add(static_cast<double>(w.clf));
         t.clf_histogram.add(static_cast<std::int64_t>(w.clf));
@@ -40,6 +41,14 @@ bool parse_size_flag(const char* arg, const char* name, std::size_t* out) {
     return true;
 }
 
+bool parse_string_flag(const char* arg, const char* name, std::string* out) {
+    const std::size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+    if (arg[len + 1] == '\0') return false;
+    *out = arg + len + 1;
+    return true;
+}
+
 }  // namespace
 
 RunnerOptions parse_runner_args(int argc, char** argv, RunnerOptions defaults) {
@@ -50,6 +59,8 @@ RunnerOptions parse_runner_args(int argc, char** argv, RunnerOptions defaults) {
             opts.trials = v;
         } else if (parse_size_flag(argv[i], "--threads", &v)) {
             opts.threads = v;
+        } else if (parse_string_flag(argv[i], "--out", &opts.out_path)) {
+        } else if (parse_string_flag(argv[i], "--trace", &opts.trace_path)) {
         }
     }
     return opts;
@@ -88,6 +99,9 @@ TrialSummary MonteCarloRunner::run(
             impl_->pool.submit([&, i] {
                 proto::SessionConfig cfg = template_config;
                 cfg.seed = sim::derive_seed(template_config.seed, i);
+                // A trace sink may not be shared across worker threads:
+                // only trial 0 keeps the template's sink.
+                if (i != 0) cfg.trace = nullptr;
                 outcomes[i] = reduce_session(proto::run_session(cfg), cfg.seed);
                 done.count_down();
             });
@@ -111,6 +125,7 @@ TrialSummary MonteCarloRunner::run(
         s.alf.add(t.alf);
         s.retransmissions.add(static_cast<double>(t.retransmissions));
         s.clf_histogram.merge(t.clf_histogram);
+        s.metrics.merge(t.metrics);
         s.total_windows += t.windows;
     }
     s.wall_seconds = wall.count();
@@ -154,7 +169,19 @@ void append_summary(JsonWriter& json, const TrialSummary& summary) {
             .value(static_cast<std::uint64_t>(count));
     }
     json.end_object();
+    if (!summary.metrics.empty()) {
+        json.key("metrics");
+        obs::append_metrics(json, summary.metrics);
+    }
     json.end_object();
+}
+
+void write_session_trace(proto::SessionConfig cfg, const std::string& path) {
+    obs::TraceRecorder recorder(1 << 20);
+    cfg.seed = sim::derive_seed(cfg.seed, 0);
+    cfg.trace = &recorder;
+    proto::run_session(std::move(cfg));
+    obs::write_chrome_trace_file(path, recorder.events());
 }
 
 }  // namespace espread::exp

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "exp/json.hpp"
+#include "obs/metrics.hpp"
 #include "protocol/session.hpp"
 #include "sim/stats.hpp"
 
@@ -33,10 +34,17 @@ struct RunnerOptions {
     std::size_t trials = 32;
     /// 0 = ThreadPool::hardware_threads().
     std::size_t threads = 0;
+    /// --out=FILE: where the bench writes its BENCH_*.json (empty = the
+    /// bench's hardcoded default name).
+    std::string out_path;
+    /// --trace=FILE: additionally run one traced session (trial 0's
+    /// realization) and write a Chrome trace-event JSON there.
+    std::string trace_path;
 };
 
-/// Parses `--trials=N` / `--threads=N` from a bench's argv, leaving other
-/// arguments alone.  Unparsable values keep the defaults passed in.
+/// Parses `--trials=N` / `--threads=N` / `--out=FILE` / `--trace=FILE`
+/// from a bench's argv, leaving other arguments alone.  Unparsable values
+/// keep the defaults passed in.
 RunnerOptions parse_runner_args(int argc, char** argv,
                                 RunnerOptions defaults = {});
 
@@ -50,6 +58,7 @@ struct TrialOutcome {
     std::size_t retransmissions = 0;
     std::size_t windows = 0;
     sim::Histogram clf_histogram;     ///< per-window CLF counts
+    obs::MetricsRegistry metrics;     ///< per-session registry (if collected)
 };
 
 /// Reduction over all trials of one configuration.
@@ -63,6 +72,10 @@ struct TrialSummary {
     sim::RunningStats alf;        ///< distribution of per-trial ALF
     sim::RunningStats retransmissions;  ///< per-trial retransmission totals
     sim::Histogram clf_histogram; ///< pooled per-window CLF counts
+    /// Per-trial registries merged in trial order (empty unless the
+    /// template config sets collect_metrics).  Deterministic across thread
+    /// counts, like every other field.
+    obs::MetricsRegistry metrics;
     std::size_t total_windows = 0;
 
     double wall_seconds = 0.0;
@@ -98,10 +111,18 @@ private:
 
 /// Appends `summary` as a JSON object under the writer's current position:
 /// {"trials":..,"threads":..,"wall_seconds":..,"windows_per_second":..,
-///  "clf_mean":{stats},...,"clf_histogram":{"0":n0,...}}.
+///  "clf_mean":{stats},...,"clf_histogram":{"0":n0,...},"metrics":{...}}.
+/// The "metrics" object is omitted when the merged registry is empty.
 void append_summary(JsonWriter& json, const TrialSummary& summary);
 
 /// Appends a RunningStats object: {"count","mean","dev","min","max"}.
 void append_stats(JsonWriter& json, const sim::RunningStats& stats);
+
+/// Runs ONE session of `cfg` under trial 0's seed (sim::derive_seed(seed,
+/// 0) — the same realization MonteCarloRunner::run gives its first trial)
+/// with a TraceRecorder attached, and writes the Chrome trace-event JSON
+/// to `path`.  This is how benches honor --trace=FILE without perturbing
+/// the parallel run.
+void write_session_trace(proto::SessionConfig cfg, const std::string& path);
 
 }  // namespace espread::exp

@@ -14,7 +14,9 @@
 #include <utility>
 
 #include "net/gilbert.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
 
 namespace espread::net {
 
@@ -30,6 +32,11 @@ struct ChannelStats {
     std::size_t delivered = 0;
     std::size_t dropped = 0;
     std::size_t bits_sent = 0;
+    /// Lengths of maximal runs of consecutive dropped packets (send order).
+    /// The max alone hides the burst distribution the Gilbert model is
+    /// calibrated to; the histogram exposes it.  Sum over (length x count)
+    /// equals `dropped`.
+    sim::Histogram loss_runs;
 };
 
 /// Unidirectional lossy FIFO link carrying messages of type Msg.
@@ -61,6 +68,15 @@ public:
     /// Registers the delivery callback (invoked at simulated arrival time).
     void set_receiver(Receiver r) { receiver_ = std::move(r); }
 
+    /// Attaches a trace sink (non-owning; nullptr detaches).  Every send
+    /// then emits a PacketSent or PacketLost event on `actor`'s track,
+    /// stamped with the packet's link departure time.  With no sink the
+    /// only cost is one null-pointer branch per send.
+    void set_trace(obs::TraceSink* sink, obs::Actor actor) noexcept {
+        trace_ = sink;
+        trace_actor_ = actor;
+    }
+
     /// Enqueues one message of `size_bits` onto the link.  Returns true if
     /// the message survived the loss process (it will be delivered after
     /// serialization + propagation).  The return value is the simulation
@@ -76,7 +92,30 @@ public:
         stats_.bits_sent += size_bits;
         if (loss_.drop_next()) {
             ++stats_.dropped;
+            ++loss_run_;
+            if (trace_) {
+                obs::TraceEvent e;
+                e.time = depart;
+                e.type = obs::EventType::kPacketLost;
+                e.actor = trace_actor_;
+                e.seq = stats_.sent - 1;
+                e.arg = static_cast<std::int64_t>(size_bits);
+                trace_->record(e);
+            }
             return false;
+        }
+        if (loss_run_ > 0) {
+            stats_.loss_runs.add(static_cast<std::int64_t>(loss_run_));
+            loss_run_ = 0;
+        }
+        if (trace_) {
+            obs::TraceEvent e;
+            e.time = depart;
+            e.type = obs::EventType::kPacketSent;
+            e.actor = trace_actor_;
+            e.seq = stats_.sent - 1;
+            e.arg = static_cast<std::int64_t>(size_bits);
+            trace_->record(e);
         }
         const sim::SimTime arrival = link_free_ + link_.propagation_delay;
         // EventQueue callbacks are std::function (copyable); box the payload
@@ -106,7 +145,14 @@ public:
                                  link_.bandwidth_bps);
     }
 
-    const ChannelStats& stats() const noexcept { return stats_; }
+    /// Snapshot of the delivery counters.  A loss run still open at call
+    /// time (the most recent packet was dropped) is counted as complete, so
+    /// loss_runs always sums to `dropped`.
+    ChannelStats stats() const {
+        ChannelStats s = stats_;
+        if (loss_run_ > 0) s.loss_runs.add(static_cast<std::int64_t>(loss_run_));
+        return s;
+    }
     const LinkConfig& link() const noexcept { return link_; }
     GilbertLoss& loss_model() noexcept { return loss_; }
 
@@ -117,6 +163,9 @@ private:
     Receiver receiver_;
     sim::SimTime link_free_ = 0;
     ChannelStats stats_;
+    std::size_t loss_run_ = 0;  ///< consecutive drops ending at the last send
+    obs::TraceSink* trace_ = nullptr;
+    obs::Actor trace_actor_ = obs::Actor::kDataChannel;
 };
 
 }  // namespace espread::net

@@ -77,9 +77,34 @@ bool Gateway::offer_packet() {
     }
     // The foreground probe packet.
     const bool admitted = admit(true);
+    const std::size_t slot = offered_++;
+    if (admitted) {
+        if (loss_run_ > 0) {
+            loss_runs_.add(static_cast<std::int64_t>(loss_run_));
+            loss_run_ = 0;
+        }
+    } else {
+        ++dropped_;
+        ++loss_run_;
+    }
+    if (trace_) {
+        obs::TraceEvent e;
+        e.time = static_cast<sim::SimTime>(slot);
+        e.type = admitted ? obs::EventType::kPacketSent
+                          : obs::EventType::kPacketLost;
+        e.actor = obs::Actor::kGateway;
+        e.seq = slot;
+        trace_->record(e);
+    }
     // Drain the queue.
     queue_ = std::max(0.0, queue_ - config_.service_per_slot);
     return !admitted;
+}
+
+sim::Histogram Gateway::loss_runs() const {
+    sim::Histogram h = loss_runs_;
+    if (loss_run_ > 0) h.add(static_cast<std::int64_t>(loss_run_));
+    return h;
 }
 
 }  // namespace espread::net

@@ -13,7 +13,9 @@
 
 #include <cstddef>
 
+#include "obs/trace.hpp"
 #include "sim/rng.hpp"
+#include "sim/stats.hpp"
 
 namespace espread::net {
 
@@ -54,6 +56,21 @@ public:
     /// packet was dropped.
     bool offer_packet();
 
+    /// Attaches a trace sink (non-owning; nullptr detaches).  Each probe
+    /// packet then emits PacketSent/PacketLost on the gateway track; the
+    /// event time is the slot index (the gateway simulation is slotted,
+    /// not clocked).
+    void set_trace(obs::TraceSink* sink) noexcept { trace_ = sink; }
+
+    std::size_t offered() const noexcept { return offered_; }
+    std::size_t dropped() const noexcept { return dropped_; }
+
+    /// Lengths of maximal runs of consecutive dropped probe packets; a run
+    /// still open at call time counts as complete, so the histogram always
+    /// sums to `dropped()`.  The burst-length distribution — not just the
+    /// max — is what separates drop-tail from RED.
+    sim::Histogram loss_runs() const;
+
     /// Current instantaneous queue length (packets).
     double queue_length() const noexcept { return queue_; }
 
@@ -75,6 +92,11 @@ private:
     bool cross_on_ = false;
     std::size_t cross_offered_ = 0;
     std::size_t cross_dropped_ = 0;
+    std::size_t offered_ = 0;
+    std::size_t dropped_ = 0;
+    std::size_t loss_run_ = 0;
+    sim::Histogram loss_runs_;
+    obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace espread::net

@@ -1,0 +1,66 @@
+#include "obs/metrics.hpp"
+
+#include "exp/json.hpp"
+
+namespace espread::obs {
+
+void MetricsRegistry::add_counter(std::string_view name, std::uint64_t delta) {
+    const auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        counters_.emplace(std::string{name}, delta);
+    } else {
+        it->second += delta;
+    }
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const noexcept {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+sim::Histogram& MetricsRegistry::histogram(std::string_view name) {
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) return it->second;
+    return histograms_.emplace(std::string{name}, sim::Histogram{}).first->second;
+}
+
+const sim::Histogram* MetricsRegistry::find_histogram(
+    std::string_view name) const noexcept {
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+    for (const auto& [name, value] : other.counters_) {
+        add_counter(name, value);
+    }
+    for (const auto& [name, hist] : other.histograms_) {
+        histogram(name).merge(hist);
+    }
+}
+
+void append_metrics(exp::JsonWriter& json, const MetricsRegistry& metrics) {
+    json.begin_object();
+    json.key("counters").begin_object();
+    for (const auto& [name, value] : metrics.counters()) {
+        json.key(name).value(value);
+    }
+    json.end_object();
+    json.key("histograms").begin_object();
+    for (const auto& [name, hist] : metrics.histograms()) {
+        json.key(name).begin_object();
+        json.key("total").value(static_cast<std::uint64_t>(hist.total()));
+        json.key("mean").value(hist.mean());
+        json.key("bins").begin_object();
+        for (const auto& [value, count] : hist.bins()) {
+            json.key(std::to_string(value))
+                .value(static_cast<std::uint64_t>(count));
+        }
+        json.end_object();
+        json.end_object();
+    }
+    json.end_object();
+    json.end_object();
+}
+
+}  // namespace espread::obs

@@ -1,0 +1,63 @@
+// Named-metric registry (observability layer).
+//
+// Sessions accumulate named counters and sim::Histogram instances; the
+// Monte-Carlo runner merges per-trial registries IN TRIAL ORDER, so the
+// merged registry — and its JSON rendering — is byte-identical across
+// thread counts, extending the determinism contract of exp::TrialSummary
+// to metric output.  Keys are ordered (std::map), which makes iteration,
+// merge and serialization order independent of insertion order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "sim/stats.hpp"
+
+namespace espread::exp {
+class JsonWriter;
+}
+
+namespace espread::obs {
+
+/// Named counters + histograms with deterministic merge.
+class MetricsRegistry {
+public:
+    /// Adds `delta` to the named counter, creating it at zero first.
+    void add_counter(std::string_view name, std::uint64_t delta = 1);
+
+    /// Value of a counter; 0 if it was never touched.
+    std::uint64_t counter(std::string_view name) const noexcept;
+
+    /// Named histogram handle, created empty on first use.
+    sim::Histogram& histogram(std::string_view name);
+
+    /// Read-only histogram lookup; nullptr if it was never created.
+    const sim::Histogram* find_histogram(std::string_view name) const noexcept;
+
+    /// Adds every counter and histogram of `other` into this registry.
+    /// Associative and key-ordered, so merging per-trial registries in
+    /// trial order yields the same bytes regardless of thread count.
+    void merge(const MetricsRegistry& other);
+
+    bool empty() const noexcept { return counters_.empty() && histograms_.empty(); }
+
+    const std::map<std::string, std::uint64_t, std::less<>>& counters() const noexcept {
+        return counters_;
+    }
+    const std::map<std::string, sim::Histogram, std::less<>>& histograms() const noexcept {
+        return histograms_;
+    }
+
+private:
+    std::map<std::string, std::uint64_t, std::less<>> counters_;
+    std::map<std::string, sim::Histogram, std::less<>> histograms_;
+};
+
+/// Appends the registry at the writer's current position:
+/// {"counters":{name:value,...},
+///  "histograms":{name:{"total":n,"mean":m,"bins":{value:count,...}},...}}.
+void append_metrics(exp::JsonWriter& json, const MetricsRegistry& metrics);
+
+}  // namespace espread::obs

@@ -11,6 +11,10 @@
 #include "net/fragment.hpp"
 #include "net/gilbert.hpp"
 
+namespace espread::obs {
+class TraceSink;
+}
+
 namespace espread::proto {
 
 /// Which transmission ordering the sender uses.
@@ -110,6 +114,18 @@ struct SessionConfig {
 
     std::size_t num_windows = 100;  ///< paper plots 100 buffer windows
     std::uint64_t seed = 1;
+
+    /// Trace sink for the structured event timeline (src/obs); non-owning,
+    /// nullptr disables tracing at the cost of one branch per event site.
+    /// A sink is used by exactly one running session: when fanning this
+    /// config out over the Monte-Carlo runner, only trial 0 keeps it (the
+    /// other trials run untraced), so the sink is never shared across
+    /// worker threads.
+    obs::TraceSink* trace = nullptr;
+
+    /// Collect named counters and histograms into SessionResult::metrics
+    /// (loss-run lengths, retransmit latency, per-window bound/CLF, ...).
+    bool collect_metrics = false;
 
     /// Client start-up delay, in buffer-window durations (paper: fill the
     /// client buffer first, i.e. 1.0).  Values below 1.0 shave latency at

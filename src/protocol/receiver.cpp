@@ -30,7 +30,19 @@ void Receiver::on_packet(const DataPacket& p, sim::SimTime now) {
     fa.tx_pos = p.tx_pos;
     const bool was_complete = fa.complete() && fa.num_fragments > 0;
     fa.received.insert(p.fragment);
-    if (!was_complete && fa.complete()) fa.completed_at = now;
+    if (!was_complete && fa.complete()) {
+        fa.completed_at = now;
+        if (trace_) {
+            obs::TraceEvent e;
+            e.time = now;
+            e.type = obs::EventType::kFrameComplete;
+            e.actor = obs::Actor::kClient;
+            e.window = p.window;
+            e.seq = p.seq;
+            e.arg = static_cast<std::int64_t>(p.frame_index);
+            trace_->record(e);
+        }
+    }
 }
 
 void Receiver::on_trailer(const WindowTrailer& t) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/metrics.hpp"
+#include "obs/trace.hpp"
 #include "protocol/wire.hpp"
 #include "sim/event_queue.hpp"
 
@@ -63,6 +64,11 @@ public:
     /// Handles the end-of-window trailer.
     void on_trailer(const WindowTrailer& t);
 
+    /// Attaches a trace sink (non-owning; nullptr detaches).  The receiver
+    /// then emits a client-track FrameComplete event when a frame's final
+    /// fragment arrives.
+    void set_trace(obs::TraceSink* sink) noexcept { trace_ = sink; }
+
     /// Closes window `w`: computes the outcome and releases its state.
     /// Windows may be finalized in any order; unseen windows yield an
     /// all-lost outcome.
@@ -90,6 +96,7 @@ private:
     std::vector<std::vector<std::size_t>> prereqs_;
     std::map<std::size_t, WindowState> windows_;
     std::size_t packets_seen_ = 0;
+    obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace espread::proto

@@ -1,5 +1,6 @@
 #include "protocol/report.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -11,12 +12,16 @@ namespace espread::proto {
 
 void write_csv(std::ostream& out, const SessionResult& result) {
     out << "window,clf,lost_ldus,alf,undecodable,sender_dropped,"
-           "retransmissions,actual_packet_burst,bound_used\n";
+           "retransmissions,actual_packet_burst,bound_used,playout_clf\n";
     for (const WindowReport& w : result.windows) {
         out << w.window << ',' << w.clf << ',' << w.lost_ldus << ','
             << sim::format_fixed(w.alf, 6) << ',' << w.undecodable << ','
             << w.sender_dropped << ',' << w.retransmissions << ','
-            << w.actual_packet_burst << ',' << w.bound_used << '\n';
+            << w.actual_packet_burst << ',' << w.bound_used << ',';
+        if (w.window < result.playout_window_clf.size()) {
+            out << result.playout_window_clf[w.window];
+        }
+        out << '\n';
     }
 }
 
@@ -27,17 +32,49 @@ void write_csv_file(const std::string& path, const SessionResult& result) {
     if (!out) throw std::runtime_error("write_csv_file: write failed: " + path);
 }
 
+void write_event_csv(std::ostream& out, std::vector<obs::TraceEvent> events) {
+    std::stable_sort(events.begin(), events.end(),
+                     [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+                         return a.time < b.time;
+                     });
+    out << "time_s,actor,event,window,seq,arg,v0,v1\n";
+    for (const obs::TraceEvent& e : events) {
+        out << sim::format_fixed(static_cast<double>(e.time) / 1e9, 9) << ','
+            << obs::actor_name(e.actor) << ',' << obs::event_name(e.type)
+            << ',' << e.window << ',' << e.seq << ',' << e.arg << ','
+            << sim::format_fixed(e.v0, 6) << ',' << sim::format_fixed(e.v1, 6)
+            << '\n';
+    }
+}
+
+void write_event_csv_file(const std::string& path,
+                          std::vector<obs::TraceEvent> events) {
+    std::ofstream out{path};
+    if (!out) {
+        throw std::runtime_error("write_event_csv_file: cannot open " + path);
+    }
+    write_event_csv(out, std::move(events));
+    if (!out) {
+        throw std::runtime_error("write_event_csv_file: write failed: " + path);
+    }
+}
+
 std::string summarize(const SessionResult& result) {
     const sim::RunningStats s = result.clf_stats();
+    const sim::RunningStats p = result.playout_clf_stats();
     std::ostringstream out;
     out << result.windows.size() << " windows: CLF mean "
         << sim::format_fixed(s.mean(), 2) << " dev "
         << sim::format_fixed(s.deviation(), 2) << " max "
-        << sim::format_fixed(s.max(), 0) << "; ALF "
+        << sim::format_fixed(s.max(), 0) << "; playout CLF mean "
+        << sim::format_fixed(p.mean(), 2) << "; ALF "
         << sim::format_fixed(result.total.alf, 3) << "; packets "
         << result.data_channel.sent << " sent / " << result.data_channel.dropped
         << " dropped; ACKs applied " << result.acks_applied << "/"
-        << result.acks_sent;
+        << result.acks_sent << "; required startup "
+        << sim::format_fixed(static_cast<double>(result.required_startup) / 1e6,
+                             1)
+        << " ms";
     return out.str();
 }
 

@@ -82,6 +82,54 @@ struct Session::Impl {
             }
         });
         feedback.set_receiver([this](Feedback f) { on_feedback(f); });
+
+        if (cfg.trace != nullptr) {
+            data.set_trace(cfg.trace, obs::Actor::kDataChannel);
+            feedback.set_trace(cfg.trace, obs::Actor::kFeedbackChannel);
+            receiver.set_trace(cfg.trace);
+            if (cfg.estimator == EstimatorKind::kEwma) {
+                // Translate Eq. 1 steps into EstimatorUpdate events; the
+                // sliding-max alternative is traced directly in on_feedback.
+                estimator.set_observer([this](std::size_t observed, double old_e,
+                                              double new_e) {
+                    trace_estimator_update(
+                        observed,
+                        espread::BurstEstimator::bound_for(old_e,
+                                                           estimator.window()),
+                        espread::BurstEstimator::bound_for(new_e,
+                                                           estimator.window()));
+                });
+            }
+        }
+    }
+
+    // ---- observability ----------------------------------------------------
+
+    /// Emits one trace event if a sink is attached; sets the common fields.
+    void trace_event(obs::EventType type, obs::Actor actor, sim::SimTime t,
+                     std::size_t window, std::uint64_t seq = 0,
+                     std::int64_t arg = 0, double v0 = 0.0, double v1 = 0.0) {
+        if (cfg.trace == nullptr) return;
+        obs::TraceEvent e;
+        e.time = t;
+        e.type = type;
+        e.actor = actor;
+        e.window = window;
+        e.seq = seq;
+        e.arg = arg;
+        e.v0 = v0;
+        e.v1 = v1;
+        cfg.trace->record(e);
+    }
+
+    void trace_estimator_update(std::size_t observed, std::size_t old_bound,
+                                std::size_t new_bound) {
+        trace_event(obs::EventType::kEstimatorUpdate, obs::Actor::kServer,
+                    queue.now(), feedback_window_,
+                    /*seq=*/last_ack_seq,
+                    /*arg=*/static_cast<std::int64_t>(observed),
+                    /*v0=*/static_cast<double>(old_bound),
+                    /*v1=*/static_cast<double>(new_bound));
     }
 
     /// Loads an external frame trace and tiles it (looping like a repeated
@@ -199,6 +247,7 @@ struct Session::Impl {
 
     struct PendingRetx {
         sim::SimTime ready;                  ///< earliest resend time (NACK received)
+        sim::SimTime lost_at = 0;            ///< when the loss hit the wire
         std::size_t local_frame;
         DataPacket prototype;                ///< header template for the frame
         std::vector<std::size_t> fragments;  ///< fragment ids still missing
@@ -218,6 +267,17 @@ struct Session::Impl {
             return;  // cannot make the playout deadline; give up on the frame
         }
         data.stall_until(rx.ready);
+        trace_event(obs::EventType::kRetransmit, obs::Actor::kServer, start,
+                    rx.prototype.window, rx.prototype.seq,
+                    static_cast<std::int64_t>(rx.prototype.frame_index),
+                    static_cast<double>(rx.attempts),
+                    static_cast<double>(rx.fragments.size()));
+        if (cfg.collect_metrics) {
+            // NACK round trip + queueing behind the window's own traffic,
+            // from the moment the loss hit the wire to the resend start.
+            retx_latency_ms.add(
+                static_cast<std::int64_t>((start - rx.lost_at) / 1'000'000));
+        }
         std::vector<std::size_t> still_missing;
         for (const std::size_t f : rx.fragments) {
             DataPacket p = rx.prototype;
@@ -317,6 +377,10 @@ struct Session::Impl {
 
             if (predropped[entry.local_frame]) {
                 ++rep.sender_dropped;
+                trace_event(obs::EventType::kFrameDeadlineDrop,
+                            obs::Actor::kServer, data.next_free_time(), k, 0,
+                            static_cast<std::int64_t>(
+                                frames[entry.local_frame].index));
                 continue;
             }
             const media::Frame& frame = frames[entry.local_frame];
@@ -331,6 +395,9 @@ struct Session::Impl {
             }
             if (!prereqs_sent) {
                 ++rep.sender_dropped;
+                trace_event(obs::EventType::kFrameDeadlineDrop,
+                            obs::Actor::kServer, data.next_free_time(), k, 0,
+                            static_cast<std::int64_t>(frame.index));
                 continue;
             }
 
@@ -341,6 +408,9 @@ struct Session::Impl {
             if (data.next_free_time() + data.serialization_time(total_bits) >
                 deadline) {
                 ++rep.sender_dropped;
+                trace_event(obs::EventType::kFrameDeadlineDrop,
+                            obs::Actor::kServer, data.next_free_time(), k, 0,
+                            static_cast<std::int64_t>(frame.index));
                 continue;
             }
 
@@ -367,6 +437,7 @@ struct Session::Impl {
                 PendingRetx rx;
                 rx.ready = data.next_free_time() +
                            2 * cfg.data_link.propagation_delay;
+                rx.lost_at = data.next_free_time();
                 rx.local_frame = entry.local_frame;
                 rx.prototype = proto;
                 rx.fragments = std::move(lost);
@@ -419,6 +490,9 @@ struct Session::Impl {
         rep.alf = cr.alf;
         rep.undecodable = out.undecodable;
         meter.add_window(out.playback);
+        trace_event(obs::EventType::kWindowFinalized, obs::Actor::kClient,
+                    queue.now(), k, 0, static_cast<std::int64_t>(cr.clf),
+                    cr.alf);
 
         Feedback f;
         f.seq = ++ack_seq;
@@ -426,6 +500,8 @@ struct Session::Impl {
         f.layer_max_burst = out.layer_max_burst;
         f.layer_lost = out.layer_lost;
         ++acks_sent;
+        trace_event(obs::EventType::kAckSent, obs::Actor::kClient, queue.now(),
+                    k, f.seq);
         feedback.send(std::move(f), cfg.feedback_bits);
     }
 
@@ -434,9 +510,17 @@ struct Session::Impl {
     void on_feedback(const Feedback& f) {
         // UDP ACKs can arrive out of order; the server acts only on the
         // highest sequence number seen (paper §4.2).
-        if (f.seq <= last_ack_seq) return;
+        if (f.seq <= last_ack_seq) {
+            ++acks_stale;
+            trace_event(obs::EventType::kAckStale, obs::Actor::kServer,
+                        queue.now(), f.window, f.seq);
+            return;
+        }
         last_ack_seq = f.seq;
         ++acks_applied;
+        feedback_window_ = f.window;
+        trace_event(obs::EventType::kAckApplied, obs::Actor::kServer,
+                    queue.now(), f.window, f.seq);
         if (!cfg.adaptive || cfg.pinned_bound != 0) return;
         std::size_t observed = 0;
         const auto& critical = planner.layer_critical();
@@ -444,8 +528,13 @@ struct Session::Impl {
             if (l < critical.size() && critical[l]) continue;
             observed = std::max(observed, f.layer_max_burst[l]);
         }
-        estimator.update(observed);
+        const std::size_t old_sliding_bound = sliding.bound();
+        estimator.update(observed);  // fires the EWMA trace observer
         sliding.update(observed);
+        if (cfg.estimator == EstimatorKind::kSlidingMax) {
+            trace_estimator_update(std::min(observed, sliding.window()),
+                                   old_sliding_bound, sliding.bound());
+        }
     }
 
     // ---- driver ------------------------------------------------------------
@@ -481,7 +570,58 @@ struct Session::Impl {
         }
         result.playout_total = playout_meter.total();
         result.required_startup = playout.required_startup_delay(total_ldus);
+
+        if (cfg.trace != nullptr) {
+            // Slots the playout clock judged lost: the frame either never
+            // became playable or became playable after its deadline.
+            for (std::size_t i = 0; i < total_ldus; ++i) {
+                if (playout_mask[i]) continue;
+                const auto slack = playout.slack(i);
+                trace_event(obs::EventType::kPlayoutMiss, obs::Actor::kClient,
+                            playout.deadline(i), i / n, 0,
+                            static_cast<std::int64_t>(i),
+                            slack ? sim::to_seconds(*slack) * 1e3 : 0.0);
+            }
+        }
+        if (cfg.collect_metrics) fill_metrics(result, playout_mask);
         return result;
+    }
+
+    /// Populates SessionResult::metrics from the finished run.
+    void fill_metrics(SessionResult& result,
+                      const espread::LossMask& playout_mask) const {
+        obs::MetricsRegistry& m = result.metrics;
+        m.add_counter("data_packets_sent", result.data_channel.sent);
+        m.add_counter("data_packets_dropped", result.data_channel.dropped);
+        m.add_counter("data_packets_delivered", result.data_channel.delivered);
+        m.add_counter("data_bits_sent", result.data_channel.bits_sent);
+        m.add_counter("feedback_packets_sent", result.feedback_channel.sent);
+        m.add_counter("feedback_packets_dropped",
+                      result.feedback_channel.dropped);
+        m.add_counter("acks_sent", acks_sent);
+        m.add_counter("acks_applied", acks_applied);
+        m.add_counter("acks_stale", acks_stale);
+        std::size_t playout_misses = 0;
+        for (const bool ok : playout_mask) playout_misses += ok ? 0 : 1;
+        m.add_counter("playout_misses", playout_misses);
+
+        std::uint64_t retx = 0, dropped = 0, undecodable = 0;
+        sim::Histogram& bounds = m.histogram("bound_used");
+        sim::Histogram& clf = m.histogram("window_clf");
+        sim::Histogram& burst = m.histogram("window_packet_burst");
+        for (const WindowReport& w : result.windows) {
+            retx += w.retransmissions;
+            dropped += w.sender_dropped;
+            undecodable += w.undecodable;
+            bounds.add(static_cast<std::int64_t>(w.bound_used));
+            clf.add(static_cast<std::int64_t>(w.clf));
+            burst.add(static_cast<std::int64_t>(w.actual_packet_burst));
+        }
+        m.add_counter("retransmissions", retx);
+        m.add_counter("frames_deadline_dropped", dropped);
+        m.add_counter("frames_undecodable", undecodable);
+        m.histogram("loss_run_length").merge(result.data_channel.loss_runs);
+        m.histogram("retransmit_latency_ms").merge(retx_latency_ms);
     }
 
     SessionConfig cfg;
@@ -511,7 +651,10 @@ struct Session::Impl {
     std::uint64_t last_ack_seq = 0;
     std::size_t acks_sent = 0;
     std::size_t acks_applied = 0;
+    std::size_t acks_stale = 0;
     std::size_t packet_burst = 0;
+    std::size_t feedback_window_ = 0;  ///< window of the last applied ACK
+    sim::Histogram retx_latency_ms;    ///< loss -> resend start, milliseconds
 };
 
 Session::Session(SessionConfig cfg) : impl_(std::make_unique<Impl>(std::move(cfg))) {}

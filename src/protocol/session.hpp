@@ -31,6 +31,7 @@
 #include "core/estimator.hpp"
 #include "core/metrics.hpp"
 #include "net/channel.hpp"
+#include "obs/metrics.hpp"
 #include "protocol/config.hpp"
 #include "protocol/planner.hpp"
 #include "protocol/receiver.hpp"
@@ -71,6 +72,9 @@ struct SessionResult {
     /// Smallest start-up delay that would have made every delivered frame
     /// on time (measured over this run).
     sim::SimTime required_startup = 0;
+
+    /// Named counters/histograms; empty unless SessionConfig::collect_metrics.
+    obs::MetricsRegistry metrics;
 
     /// Mean / deviation of per-window CLF (the paper's headline numbers).
     sim::RunningStats clf_stats() const;

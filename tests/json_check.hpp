@@ -1,0 +1,140 @@
+// Minimal recursive-descent JSON validator for tests.  Not a parser — it
+// only answers "is this byte string well-formed JSON?" so the emitters'
+// outputs can be checked without a JSON library dependency.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string_view>
+
+namespace espread::testing {
+
+namespace detail {
+
+struct JsonCursor {
+    std::string_view s;
+    std::size_t pos = 0;
+
+    bool eof() const noexcept { return pos >= s.size(); }
+    char peek() const noexcept { return eof() ? '\0' : s[pos]; }
+    void skip_ws() noexcept {
+        while (!eof() && std::isspace(static_cast<unsigned char>(s[pos]))) {
+            ++pos;
+        }
+    }
+    bool consume(char c) noexcept {
+        if (peek() != c) return false;
+        ++pos;
+        return true;
+    }
+    bool consume_lit(std::string_view lit) noexcept {
+        if (s.substr(pos, lit.size()) != lit) return false;
+        pos += lit.size();
+        return true;
+    }
+};
+
+inline bool check_value(JsonCursor& c, int depth);
+
+inline bool check_string(JsonCursor& c) {
+    if (!c.consume('"')) return false;
+    while (!c.eof()) {
+        const char ch = c.s[c.pos++];
+        if (ch == '"') return true;
+        if (static_cast<unsigned char>(ch) < 0x20) return false;  // raw control
+        if (ch == '\\') {
+            if (c.eof()) return false;
+            const char esc = c.s[c.pos++];
+            switch (esc) {
+                case '"': case '\\': case '/': case 'b': case 'f':
+                case 'n': case 'r': case 't':
+                    break;
+                case 'u':
+                    for (int i = 0; i < 4; ++i) {
+                        if (c.eof() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(c.s[c.pos]))) {
+                            return false;
+                        }
+                        ++c.pos;
+                    }
+                    break;
+                default:
+                    return false;
+            }
+        }
+    }
+    return false;  // unterminated
+}
+
+inline bool check_number(JsonCursor& c) {
+    const std::size_t start = c.pos;
+    c.consume('-');
+    if (!std::isdigit(static_cast<unsigned char>(c.peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(c.peek()))) ++c.pos;
+    if (c.consume('.')) {
+        if (!std::isdigit(static_cast<unsigned char>(c.peek()))) return false;
+        while (std::isdigit(static_cast<unsigned char>(c.peek()))) ++c.pos;
+    }
+    if (c.peek() == 'e' || c.peek() == 'E') {
+        ++c.pos;
+        if (c.peek() == '+' || c.peek() == '-') ++c.pos;
+        if (!std::isdigit(static_cast<unsigned char>(c.peek()))) return false;
+        while (std::isdigit(static_cast<unsigned char>(c.peek()))) ++c.pos;
+    }
+    return c.pos > start;
+}
+
+inline bool check_object(JsonCursor& c, int depth) {
+    if (!c.consume('{')) return false;
+    c.skip_ws();
+    if (c.consume('}')) return true;
+    while (true) {
+        c.skip_ws();
+        if (!check_string(c)) return false;
+        c.skip_ws();
+        if (!c.consume(':')) return false;
+        if (!check_value(c, depth + 1)) return false;
+        c.skip_ws();
+        if (c.consume('}')) return true;
+        if (!c.consume(',')) return false;
+    }
+}
+
+inline bool check_array(JsonCursor& c, int depth) {
+    if (!c.consume('[')) return false;
+    c.skip_ws();
+    if (c.consume(']')) return true;
+    while (true) {
+        if (!check_value(c, depth + 1)) return false;
+        c.skip_ws();
+        if (c.consume(']')) return true;
+        if (!c.consume(',')) return false;
+    }
+}
+
+inline bool check_value(JsonCursor& c, int depth) {
+    if (depth > 256) return false;
+    c.skip_ws();
+    switch (c.peek()) {
+        case '{': return check_object(c, depth);
+        case '[': return check_array(c, depth);
+        case '"': return check_string(c);
+        case 't': return c.consume_lit("true");
+        case 'f': return c.consume_lit("false");
+        case 'n': return c.consume_lit("null");
+        default: return check_number(c);
+    }
+}
+
+}  // namespace detail
+
+/// True iff `text` is one complete well-formed JSON value.
+inline bool is_valid_json(std::string_view text) {
+    detail::JsonCursor c{text};
+    if (!detail::check_value(c, 0)) return false;
+    c.skip_ws();
+    return c.eof();
+}
+
+}  // namespace espread::testing

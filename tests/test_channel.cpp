@@ -75,6 +75,41 @@ TEST(Channel, AllPacketsDroppedWhenAlwaysBad) {
     EXPECT_EQ(ch.stats().delivered, 1u);
     EXPECT_EQ(ch.stats().dropped, 9u);
     EXPECT_EQ(ch.stats().bits_sent, 1000u);
+    // The 9 drops form one (still open) loss run of length 9.
+    const auto runs = ch.stats().loss_runs;
+    EXPECT_EQ(runs.total(), 1u);
+    ASSERT_EQ(runs.bins().size(), 1u);
+    EXPECT_EQ(runs.bins().begin()->first, 9);
+    EXPECT_EQ(runs.bins().begin()->second, 1u);
+}
+
+TEST(Channel, LosslessChannelHasNoLossRuns) {
+    EventQueue q;
+    Channel<int> ch{q, LinkConfig{1e6, 0}, kLossless, Rng{1}};
+    ch.set_receiver([](int) {});
+    for (int i = 0; i < 20; ++i) ch.send(i, 100);
+    q.run();
+    EXPECT_EQ(ch.stats().loss_runs.total(), 0u);
+}
+
+TEST(Channel, LossRunLengthsSumToDroppedPackets) {
+    EventQueue q;
+    Channel<int> ch{q, LinkConfig{1e6, 0}, GilbertParams{0.9, 0.5}, Rng{7}};
+    ch.set_receiver([](int) {});
+    for (int i = 0; i < 500; ++i) ch.send(i, 100);
+    q.run();
+    const auto s = ch.stats();
+    ASSERT_GT(s.dropped, 0u);
+    ASSERT_LT(s.dropped, s.sent);
+    // Every dropped packet belongs to exactly one run, so the lengths
+    // weighted by their counts must add up to the drop total.
+    std::size_t in_runs = 0;
+    for (const auto& [len, count] : s.loss_runs.bins()) {
+        ASSERT_GE(len, 1);
+        in_runs += static_cast<std::size_t>(len) * count;
+    }
+    EXPECT_EQ(in_runs, s.dropped);
+    EXPECT_LE(s.loss_runs.total(), s.dropped);
 }
 
 TEST(Channel, LossyDeliveryIsDeterministicPerSeed) {

@@ -32,10 +32,26 @@ TEST(Report, CsvHasHeaderAndOneRowPerWindow) {
     std::size_t rows = 0;
     while (std::getline(in, line)) {
         ++rows;
-        // 9 columns -> 8 commas
-        EXPECT_EQ(std::count(line.begin(), line.end(), ','), 8);
+        // 10 columns -> 9 commas
+        EXPECT_EQ(std::count(line.begin(), line.end(), ','), 9);
     }
     EXPECT_EQ(rows, 5u);
+}
+
+TEST(Report, CsvIncludesPlayoutClfColumn) {
+    const SessionResult r = small_result();
+    ASSERT_EQ(r.playout_window_clf.size(), r.windows.size());
+    std::ostringstream out;
+    write_csv(out, r);
+    std::istringstream in{out.str()};
+    std::string line;
+    std::getline(in, line);
+    EXPECT_NE(line.find(",playout_clf"), std::string::npos);
+    std::getline(in, line);  // window 0
+    const std::size_t last_comma = line.rfind(',');
+    ASSERT_NE(last_comma, std::string::npos);
+    EXPECT_EQ(line.substr(last_comma + 1),
+              std::to_string(r.playout_window_clf[0]));
 }
 
 TEST(Report, CsvRowsMatchWindowReports) {
@@ -70,8 +86,39 @@ TEST(Report, SummaryMentionsKeyStatistics) {
     const std::string s = summarize(small_result());
     EXPECT_NE(s.find("5 windows"), std::string::npos);
     EXPECT_NE(s.find("CLF mean"), std::string::npos);
+    EXPECT_NE(s.find("playout CLF mean"), std::string::npos);
     EXPECT_NE(s.find("ALF"), std::string::npos);
     EXPECT_NE(s.find("ACKs applied"), std::string::npos);
+    EXPECT_NE(s.find("required startup"), std::string::npos);
+    EXPECT_NE(s.find(" ms"), std::string::npos);
+}
+
+TEST(Report, EventCsvSortsByTimeWithOneRowPerEvent) {
+    std::vector<espread::obs::TraceEvent> events;
+    espread::obs::TraceEvent a;
+    a.time = espread::sim::from_millis(5);
+    a.type = espread::obs::EventType::kPacketLost;
+    a.actor = espread::obs::Actor::kDataChannel;
+    a.seq = 2;
+    espread::obs::TraceEvent b;
+    b.time = espread::sim::from_millis(1);
+    b.type = espread::obs::EventType::kPacketSent;
+    b.actor = espread::obs::Actor::kDataChannel;
+    b.seq = 1;
+    events.push_back(a);
+    events.push_back(b);
+
+    std::ostringstream out;
+    espread::proto::write_event_csv(out, events);
+    std::istringstream in{out.str()};
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "time_s,actor,event,window,seq,arg,v0,v1");
+    std::getline(in, line);
+    EXPECT_NE(line.find("PacketSent"), std::string::npos);  // 1 ms first
+    std::getline(in, line);
+    EXPECT_NE(line.find("PacketLost"), std::string::npos);
+    EXPECT_FALSE(std::getline(in, line));
 }
 
 }  // namespace

@@ -6,7 +6,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <fstream>
+#include <iterator>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "core/cpo.hpp"
@@ -92,6 +95,13 @@ SessionConfig small_config() {
     return cfg;
 }
 
+RunnerOptions runner_opts(std::size_t trials, std::size_t threads) {
+    RunnerOptions opts;
+    opts.trials = trials;
+    opts.threads = threads;
+    return opts;
+}
+
 void expect_stats_identical(const espread::sim::RunningStats& a,
                             const espread::sim::RunningStats& b) {
     EXPECT_EQ(a.count(), b.count());
@@ -105,10 +115,10 @@ TEST(MonteCarloRunner, SummaryIsBitIdenticalAcrossThreadCounts) {
     const SessionConfig cfg = small_config();
     constexpr std::size_t kTrials = 12;
 
-    MonteCarloRunner single({kTrials, 1});
+    MonteCarloRunner single(runner_opts(kTrials, 1));
     const std::size_t many_threads =
         std::max<std::size_t>(4, ThreadPool::hardware_threads());
-    MonteCarloRunner parallel({kTrials, many_threads});
+    MonteCarloRunner parallel(runner_opts(kTrials, many_threads));
     ASSERT_GT(parallel.threads(), 1u);
 
     const TrialSummary a = single.run(cfg);
@@ -131,8 +141,42 @@ TEST(MonteCarloRunner, SummaryIsBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(ja.str(), jb.str());
 }
 
+TEST(MonteCarloRunner, MergedMetricsAreBitIdenticalAcrossThreadCounts) {
+    SessionConfig cfg = small_config();
+    cfg.collect_metrics = true;
+    constexpr std::size_t kTrials = 12;
+
+    MonteCarloRunner single(runner_opts(kTrials, 1));
+    MonteCarloRunner parallel(
+        runner_opts(kTrials,
+                    std::max<std::size_t>(4, ThreadPool::hardware_threads())));
+
+    const TrialSummary a = single.run(cfg);
+    const TrialSummary b = parallel.run(cfg);
+
+    ASSERT_FALSE(a.metrics.empty());
+    JsonWriter ja, jb;
+    espread::obs::append_metrics(ja, a.metrics);
+    espread::obs::append_metrics(jb, b.metrics);
+    EXPECT_EQ(ja.str(), jb.str());
+
+    // Sanity on the merged registry: one window_clf sample per window.
+    const auto* clf = a.metrics.find_histogram("window_clf");
+    ASSERT_NE(clf, nullptr);
+    EXPECT_EQ(clf->total(), a.total_windows);
+}
+
+TEST(MonteCarloRunner, MetricsOmittedWhenNotCollected) {
+    MonteCarloRunner runner(runner_opts(2, 1));
+    const TrialSummary s = runner.run(small_config());
+    EXPECT_TRUE(s.metrics.empty());
+    JsonWriter j;
+    espread::exp::append_summary(j, s);
+    EXPECT_EQ(j.str().find("\"metrics\""), std::string::npos);
+}
+
 TEST(MonteCarloRunner, RepeatedRunsAreIdentical) {
-    MonteCarloRunner runner({8, 0});
+    MonteCarloRunner runner(runner_opts(8, 0));
     const TrialSummary a = runner.run(small_config());
     const TrialSummary b = runner.run(small_config());
     expect_stats_identical(a.window_clf, b.window_clf);
@@ -140,7 +184,7 @@ TEST(MonteCarloRunner, RepeatedRunsAreIdentical) {
 }
 
 TEST(MonteCarloRunner, TrialsSeeDifferentChannelRealizations) {
-    MonteCarloRunner runner({8, 2});
+    MonteCarloRunner runner(runner_opts(8, 2));
     const TrialSummary s = runner.run(small_config());
     EXPECT_EQ(s.trials, 8u);
     EXPECT_EQ(s.total_windows, 8u * 6u);
@@ -150,14 +194,14 @@ TEST(MonteCarloRunner, TrialsSeeDifferentChannelRealizations) {
 }
 
 TEST(MonteCarloRunner, CountsWindowsAndHistogramConsistently) {
-    MonteCarloRunner runner({4, 2});
+    MonteCarloRunner runner(runner_opts(4, 2));
     const TrialSummary s = runner.run(small_config());
     EXPECT_EQ(s.clf_histogram.total(), s.total_windows);
     EXPECT_EQ(s.window_clf.count(), s.total_windows);
 }
 
 TEST(MonteCarloRunner, ValidatesTemplateConfig) {
-    MonteCarloRunner runner({2, 1});
+    MonteCarloRunner runner(runner_opts(2, 1));
     SessionConfig cfg = small_config();
     cfg.num_windows = 0;
     EXPECT_THROW(runner.run(cfg), std::invalid_argument);
@@ -166,17 +210,40 @@ TEST(MonteCarloRunner, ValidatesTemplateConfig) {
 TEST(ParseRunnerArgs, ParsesTrialsAndThreads) {
     const char* argv_c[] = {"bench", "--trials=64", "--threads=3"};
     const auto opts = espread::exp::parse_runner_args(
-        3, const_cast<char**>(argv_c), {32, 0});
+        3, const_cast<char**>(argv_c), runner_opts(32, 0));
     EXPECT_EQ(opts.trials, 64u);
     EXPECT_EQ(opts.threads, 3u);
+    EXPECT_TRUE(opts.out_path.empty());
+    EXPECT_TRUE(opts.trace_path.empty());
 }
 
 TEST(ParseRunnerArgs, IgnoresMalformedFlags) {
     const char* argv_c[] = {"bench", "--trials=abc", "--threads"};
     const auto opts = espread::exp::parse_runner_args(
-        3, const_cast<char**>(argv_c), {32, 2});
+        3, const_cast<char**>(argv_c), runner_opts(32, 2));
     EXPECT_EQ(opts.trials, 32u);
     EXPECT_EQ(opts.threads, 2u);
+}
+
+TEST(ParseRunnerArgs, ParsesOutAndTracePaths) {
+    const char* argv_c[] = {"bench", "--out=results.json", "--trace=t.json",
+                            "--out="};
+    const auto opts =
+        espread::exp::parse_runner_args(4, const_cast<char**>(argv_c));
+    EXPECT_EQ(opts.out_path, "results.json");  // empty value is ignored
+    EXPECT_EQ(opts.trace_path, "t.json");
+}
+
+TEST(WriteSessionTrace, MatchesTrialZeroRealization) {
+    const std::string path =
+        ::testing::TempDir() + "/espread_runner_trace.json";
+    espread::exp::write_session_trace(small_config(), path);
+    std::ifstream in{path};
+    ASSERT_TRUE(in.good());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("\"PacketSent\""), std::string::npos);
 }
 
 // ---- BitMask vs vector<bool> references ----------------------------------
