@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 
 #include "net/gilbert.hpp"
@@ -26,17 +27,37 @@ struct LinkConfig {
     sim::SimTime propagation_delay = sim::from_millis(11.5);  ///< half of 23 ms RTT
 };
 
-/// Delivery accounting.
+/// Delivery accounting.  Reconciliation invariant once the event queue has
+/// drained: delivered + dropped + corrupt_rejected == sent + duplicated
+/// (every send ends as exactly one delivery, loss, or corrupt rejection,
+/// and every duplicate adds one extra delivery).
 struct ChannelStats {
     std::size_t sent = 0;
-    std::size_t delivered = 0;
-    std::size_t dropped = 0;
+    std::size_t delivered = 0;  ///< receiver callbacks fired (incl. duplicate copies)
+    std::size_t dropped = 0;    ///< loss-model drops + scripted (forced) drops
     std::size_t bits_sent = 0;
+    std::size_t duplicated = 0;        ///< extra copies created by fault injection
+    std::size_t corrupt_rejected = 0;  ///< corrupted headers the codec rejected
+    std::size_t reordered = 0;         ///< packets displaced past later sends
+    std::size_t forced_dropped = 0;    ///< scripted drops (subset of `dropped`)
     /// Lengths of maximal runs of consecutive dropped packets (send order).
     /// The max alone hides the burst distribution the Gilbert model is
     /// calibrated to; the histogram exposes it.  Sum over (length x count)
     /// equals `dropped`.
     sim::Histogram loss_runs;
+};
+
+/// Per-send fault directives, computed by a FaultChannel wrapper
+/// (net/fault.hpp).  The default-constructed value is a no-op: the plain
+/// send(msg, bits) path behaves exactly as if this struct did not exist.
+/// Precedence: force_drop > loss model > corrupt_rejected > delivery.
+struct SendFaults {
+    bool force_drop = false;        ///< scripted loss (blackout / adversarial burst)
+    bool corrupt_rejected = false;  ///< corruption detected by the codec: reject
+    bool reordered = false;         ///< extra_delay displaces past later sends
+    bool duplicate = false;         ///< deliver a second copy of the message
+    sim::SimTime extra_delay = 0;   ///< jitter/reorder delay added to the arrival
+    sim::SimTime duplicate_delay = 0;  ///< copy's delay past the original arrival
 };
 
 /// Unidirectional lossy FIFO link carrying messages of type Msg.
@@ -84,43 +105,65 @@ public:
     /// protocol endpoints must not base per-packet decisions on it ahead of
     /// the time a real NACK could have arrived.
     bool send(Msg msg, std::size_t size_bits) {
+        return send(std::move(msg), size_bits, SendFaults{});
+    }
+
+    /// Sends one message under fault directives (see SendFaults).  The
+    /// default directive reproduces the plain send() exactly — same loss
+    /// draws, same arrival times, same trace events — so an inactive fault
+    /// layer is observationally free.
+    bool send(Msg msg, std::size_t size_bits, const SendFaults& faults) {
         const sim::SimTime tx_time = sim::from_seconds(
             static_cast<double>(size_bits) / link_.bandwidth_bps);
         const sim::SimTime depart = std::max(queue_.now(), link_free_);
         link_free_ = depart + tx_time;
         ++stats_.sent;
         stats_.bits_sent += size_bits;
-        if (loss_.drop_next()) {
+        // Scripted drops short-circuit the Gilbert draw: a blackout models
+        // an outage on top of (not instead of) the stochastic loss process.
+        if (faults.force_drop || loss_.drop_next()) {
             ++stats_.dropped;
+            if (faults.force_drop) ++stats_.forced_dropped;
             ++loss_run_;
-            if (trace_) {
-                obs::TraceEvent e;
-                e.time = depart;
-                e.type = obs::EventType::kPacketLost;
-                e.actor = trace_actor_;
-                e.seq = stats_.sent - 1;
-                e.arg = static_cast<std::int64_t>(size_bits);
-                trace_->record(e);
-            }
+            trace(obs::EventType::kPacketLost, depart, size_bits);
             return false;
         }
         if (loss_run_ > 0) {
             stats_.loss_runs.add(static_cast<std::int64_t>(loss_run_));
             loss_run_ = 0;
         }
-        if (trace_) {
-            obs::TraceEvent e;
-            e.time = depart;
-            e.type = obs::EventType::kPacketSent;
-            e.actor = trace_actor_;
-            e.seq = stats_.sent - 1;
-            e.arg = static_cast<std::int64_t>(size_bits);
-            trace_->record(e);
+        if (faults.corrupt_rejected) {
+            // The packet occupied the link but its header fails the codec
+            // checksum at the receiver's door: never delivered.
+            ++stats_.corrupt_rejected;
+            trace(obs::EventType::kCorruptRejected, depart, size_bits);
+            return false;
         }
-        const sim::SimTime arrival = link_free_ + link_.propagation_delay;
+        trace(obs::EventType::kPacketSent, depart, size_bits);
+        if (faults.reordered) {
+            ++stats_.reordered;
+            trace(obs::EventType::kReordered, depart,
+                  static_cast<std::size_t>(faults.extra_delay));
+        }
+        const sim::SimTime arrival =
+            link_free_ + link_.propagation_delay + faults.extra_delay;
         // EventQueue callbacks are std::function (copyable); box the payload
         // so move-only message types work.
         auto boxed = std::make_shared<Msg>(std::move(msg));
+        if (faults.duplicate) {
+            // Duplication happens in the network, not on the link: the copy
+            // costs no serialization time.  Move-only payloads cannot be
+            // duplicated; the directive is ignored for them.
+            if constexpr (std::is_copy_constructible_v<Msg>) {
+                ++stats_.duplicated;
+                auto copy = std::make_shared<Msg>(*boxed);
+                queue_.schedule_at(arrival + faults.duplicate_delay,
+                                   [this, copy] {
+                                       ++stats_.delivered;
+                                       if (receiver_) receiver_(std::move(*copy));
+                                   });
+            }
+        }
         queue_.schedule_at(arrival, [this, boxed] {
             ++stats_.delivered;
             if (receiver_) receiver_(std::move(*boxed));
@@ -153,10 +196,23 @@ public:
         if (loss_run_ > 0) s.loss_runs.add(static_cast<std::int64_t>(loss_run_));
         return s;
     }
+    /// Packets handed to send() so far (cheap; stats() copies a histogram).
+    std::size_t packets_sent() const noexcept { return stats_.sent; }
     const LinkConfig& link() const noexcept { return link_; }
     GilbertLoss& loss_model() noexcept { return loss_; }
 
 private:
+    void trace(obs::EventType type, sim::SimTime depart, std::size_t arg) {
+        if (!trace_) return;
+        obs::TraceEvent e;
+        e.time = depart;
+        e.type = type;
+        e.actor = trace_actor_;
+        e.seq = stats_.sent - 1;
+        e.arg = static_cast<std::int64_t>(arg);
+        trace_->record(e);
+    }
+
     sim::EventQueue& queue_;
     LinkConfig link_;
     GilbertLoss loss_;

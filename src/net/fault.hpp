@@ -1,0 +1,198 @@
+// Deterministic fault-injection layer over Channel<Msg>.
+//
+// The paper's protocol runs over raw UDP (§4.2), so in-order Gilbert drops
+// are only the start of the threat model: real datagram paths also reorder,
+// duplicate, corrupt and jitter packets, and outages kill whole spans of
+// traffic.  FaultChannel wraps Channel<Msg> and injects exactly those
+// pathologies, driven by its own seeded sim::Rng so an impaired run is a
+// pure function of (config, seed) — the same determinism contract the
+// Monte-Carlo runner guarantees across thread counts.
+//
+// Zero-cost-off contract: with an inactive ImpairmentConfig (all rates
+// zero, no fault plan) FaultChannel::send is a direct delegate — no RNG
+// draws, no timing changes, no extra trace events — so every unimpaired
+// simulation is byte-identical to one run on a bare Channel.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "sim/rng.hpp"
+
+namespace espread::net {
+
+/// Scripted total outage: every packet whose link departure falls in
+/// [from, to) is force-dropped.  "Kill the ACK path for windows 3–5" is a
+/// Blackout on the feedback channel spanning those windows' ACK departures
+/// (see proto::SessionConfig::blackout_feedback_windows).
+struct Blackout {
+    sim::SimTime from = 0;
+    sim::SimTime to = 0;  ///< half-open interval end
+};
+
+/// Adversarial worst-case burst: force-drop `length` consecutive packets
+/// starting at 0-based send index `start`.  Complements the Gilbert
+/// model's random bursts with exact placement, e.g. the core/burst
+/// worst-case positions for a given permutation.
+struct ForcedBurst {
+    std::size_t start = 0;
+    std::size_t length = 0;
+};
+
+/// What to inject and how hard.  Default-constructed = inactive.
+struct ImpairmentConfig {
+    /// Probability a packet is displaced past later sends.  The displaced
+    /// packet's arrival is delayed by d serialization slots of its own
+    /// size, d uniform in [1, reorder_max_displacement]; with back-to-back
+    /// equal-size packets the positional displacement is bounded by
+    /// reorder_max_displacement in both directions.
+    double reorder_rate = 0.0;
+    std::size_t reorder_max_displacement = 4;
+
+    /// Probability a delivered packet is duplicated; the copy arrives
+    /// duplicate_delay after the original (never before it).
+    double duplicate_rate = 0.0;
+    sim::SimTime duplicate_delay = sim::from_millis(1.0);
+
+    /// Probability a packet's header is corrupted: up to
+    /// corrupt_max_bit_flips random bit flips applied to the record's wire
+    /// encoding.  A flip the codec checksum catches rejects the packet
+    /// (ChannelStats::corrupt_rejected); an undetected one delivers the
+    /// corrupted record.  Channels without a corrupter reject outright.
+    double corrupt_rate = 0.0;
+    std::size_t corrupt_max_bit_flips = 3;
+
+    /// Probability of extra delivery delay, uniform in [0, jitter_max].
+    double jitter_rate = 0.0;
+    sim::SimTime jitter_max = sim::from_millis(5.0);
+
+    std::vector<Blackout> blackouts;
+    std::vector<ForcedBurst> bursts;
+
+    /// True if any impairment can fire.  Inactive configs make FaultChannel
+    /// a pass-through (the zero-cost-off contract).
+    bool active() const noexcept;
+
+    /// Throws std::invalid_argument on out-of-range rates or malformed
+    /// plan entries.
+    void validate() const;
+};
+
+/// Channel<Msg> plus deterministic impairments.  Exposes the full Channel
+/// surface so protocol endpoints are written once against either.
+template <typename Msg>
+class FaultChannel {
+public:
+    using Receiver = typename Channel<Msg>::Receiver;
+    /// Applies a corruption to one message (e.g. encode -> flip bits ->
+    /// decode through the wire codec).  Returns the corrupted message, or
+    /// nullopt when the corruption is detected (checksum) and the packet
+    /// must be rejected.
+    using Corrupter = std::function<std::optional<Msg>(const Msg&, sim::Rng&)>;
+
+    FaultChannel(sim::EventQueue& queue, LinkConfig link, GilbertParams loss,
+                 sim::Rng link_rng)
+        : inner_(queue, link, loss, std::move(link_rng)) {}
+
+    /// Installs the impairment plan.  `fault_rng` drives every impairment
+    /// decision (independent of the link's loss process so enabling faults
+    /// does not shift the Gilbert stream).  Validates `cfg`; an inactive
+    /// config keeps the channel in pass-through mode.
+    void set_impairments(ImpairmentConfig cfg, sim::Rng fault_rng,
+                         Corrupter corrupter = nullptr) {
+        cfg.validate();
+        cfg_ = std::move(cfg);
+        rng_ = fault_rng;
+        corrupter_ = std::move(corrupter);
+        active_ = cfg_.active();
+    }
+
+    bool send(Msg msg, std::size_t size_bits) {
+        if (!active_) return inner_.send(std::move(msg), size_bits);
+        SendFaults f;
+        f.force_drop = scripted_drop(inner_.next_free_time(),
+                                     inner_.packets_sent());
+        // Draw order is fixed (corrupt, duplicate, reorder, jitter) and
+        // each draw is gated on its own rate, so a mix's realization is a
+        // deterministic function of (config, seed).
+        if (!f.force_drop) {
+            if (cfg_.corrupt_rate > 0.0 && rng_.bernoulli(cfg_.corrupt_rate)) {
+                if (corrupter_) {
+                    std::optional<Msg> mutated = corrupter_(msg, rng_);
+                    if (mutated.has_value()) {
+                        msg = std::move(*mutated);
+                    } else {
+                        f.corrupt_rejected = true;
+                    }
+                } else {
+                    f.corrupt_rejected = true;
+                }
+            }
+            if (!f.corrupt_rejected) {
+                if (cfg_.duplicate_rate > 0.0 &&
+                    rng_.bernoulli(cfg_.duplicate_rate)) {
+                    f.duplicate = true;
+                    f.duplicate_delay = cfg_.duplicate_delay;
+                }
+                if (cfg_.reorder_rate > 0.0 &&
+                    rng_.bernoulli(cfg_.reorder_rate)) {
+                    const std::uint64_t d = rng_.uniform_int(
+                        1, static_cast<std::uint64_t>(
+                               cfg_.reorder_max_displacement));
+                    f.reordered = true;
+                    f.extra_delay += static_cast<sim::SimTime>(d) *
+                                     inner_.serialization_time(size_bits);
+                }
+                if (cfg_.jitter_rate > 0.0 && cfg_.jitter_max > 0 &&
+                    rng_.bernoulli(cfg_.jitter_rate)) {
+                    f.extra_delay += static_cast<sim::SimTime>(
+                        rng_.uniform_int(0, static_cast<std::uint64_t>(
+                                                cfg_.jitter_max)));
+                }
+            }
+        }
+        return inner_.send(std::move(msg), size_bits, f);
+    }
+
+    // ---- Channel surface (delegated) ----------------------------------
+    void set_receiver(Receiver r) { inner_.set_receiver(std::move(r)); }
+    void set_trace(obs::TraceSink* sink, obs::Actor actor) noexcept {
+        inner_.set_trace(sink, actor);
+    }
+    sim::SimTime next_free_time() const noexcept {
+        return inner_.next_free_time();
+    }
+    void stall_until(sim::SimTime t) noexcept { inner_.stall_until(t); }
+    sim::SimTime serialization_time(std::size_t size_bits) const noexcept {
+        return inner_.serialization_time(size_bits);
+    }
+    ChannelStats stats() const { return inner_.stats(); }
+    const LinkConfig& link() const noexcept { return inner_.link(); }
+    GilbertLoss& loss_model() noexcept { return inner_.loss_model(); }
+
+    bool impaired() const noexcept { return active_; }
+    const ImpairmentConfig& impairments() const noexcept { return cfg_; }
+
+private:
+    bool scripted_drop(sim::SimTime depart, std::size_t index) const noexcept {
+        for (const Blackout& b : cfg_.blackouts) {
+            if (depart >= b.from && depart < b.to) return true;
+        }
+        for (const ForcedBurst& b : cfg_.bursts) {
+            if (index >= b.start && index - b.start < b.length) return true;
+        }
+        return false;
+    }
+
+    Channel<Msg> inner_;
+    ImpairmentConfig cfg_;
+    sim::Rng rng_{0};
+    Corrupter corrupter_;
+    bool active_ = false;
+};
+
+}  // namespace espread::net

@@ -21,6 +21,10 @@ const char* event_name(EventType t) noexcept {
         case EventType::kWindowFinalized: return "WindowFinalized";
         case EventType::kPlayoutMiss: return "PlayoutMiss";
         case EventType::kFrameComplete: return "FrameComplete";
+        case EventType::kCorruptRejected: return "CorruptRejected";
+        case EventType::kReordered: return "Reordered";
+        case EventType::kDupDropped: return "DupDropped";
+        case EventType::kStaleDropped: return "StaleDropped";
     }
     return "Unknown";
 }

@@ -43,6 +43,10 @@ enum class EventType {
     kWindowFinalized,   ///< client: arg = window CLF, v0 = window ALF
     kPlayoutMiss,       ///< client: arg = frame index that missed its slot
     kFrameComplete,     ///< client: arg = frame index (last fragment arrived)
+    kCorruptRejected,   ///< channel: seq = channel packet #, corrupt header rejected by checksum
+    kReordered,         ///< channel: seq = channel packet #, arg = extra delay (ns)
+    kDupDropped,        ///< client: duplicate fragment discarded, arg = frame index
+    kStaleDropped,      ///< client: packet for a finalized window discarded, arg = frame index
 };
 
 /// Which simulated component emitted the event (one trace track each).

@@ -2,7 +2,39 @@
 
 namespace espread::proto {
 
+std::uint16_t wire_checksum(const std::uint8_t* data, std::size_t size) noexcept {
+    // CRC-16/CCITT-FALSE: poly 0x1021, init 0xFFFF, no reflection/xorout.
+    std::uint16_t crc = 0xFFFF;
+    for (std::size_t i = 0; i < size; ++i) {
+        crc ^= static_cast<std::uint16_t>(data[i]) << 8;
+        for (int bit = 0; bit < 8; ++bit) {
+            crc = (crc & 0x8000u)
+                      ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021u)
+                      : static_cast<std::uint16_t>(crc << 1);
+        }
+    }
+    return crc;
+}
+
 namespace {
+
+constexpr std::size_t kChecksumBytes = 2;
+
+/// Appends the record checksum over everything encoded so far.
+void seal(std::vector<std::uint8_t>& out) {
+    const std::uint16_t crc = wire_checksum(out.data(), out.size());
+    out.push_back(static_cast<std::uint8_t>(crc >> 8));
+    out.push_back(static_cast<std::uint8_t>(crc));
+}
+
+/// Verifies the trailing checksum; false for records too short to carry one.
+bool checksum_ok(const std::vector<std::uint8_t>& bytes) {
+    if (bytes.size() < kChecksumBytes + 1) return false;
+    const std::size_t body = bytes.size() - kChecksumBytes;
+    const std::uint16_t stored =
+        static_cast<std::uint16_t>((bytes[body] << 8) | bytes[body + 1]);
+    return wire_checksum(bytes.data(), body) == stored;
+}
 
 /// Big-endian fixed-width writers/readers.
 void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
@@ -19,18 +51,21 @@ void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
     put_u32(out, static_cast<std::uint32_t>(v));
 }
 
-/// Cursor-based reader that refuses to run past the end.
+/// Cursor-based reader over the record body (the bytes before the trailing
+/// checksum) that refuses to run past the end.
 class Reader {
 public:
-    explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+    /// Precondition: checksum_ok(bytes), so bytes.size() > kChecksumBytes.
+    explicit Reader(const std::vector<std::uint8_t>& bytes)
+        : bytes_(bytes), limit_(bytes.size() - kChecksumBytes) {}
 
     bool u8(std::uint8_t& v) {
-        if (pos_ + 1 > bytes_.size()) return false;
+        if (pos_ + 1 > limit_) return false;
         v = bytes_[pos_++];
         return true;
     }
     bool u32(std::uint32_t& v) {
-        if (pos_ + 4 > bytes_.size()) return false;
+        if (pos_ + 4 > limit_) return false;
         v = (static_cast<std::uint32_t>(bytes_[pos_]) << 24) |
             (static_cast<std::uint32_t>(bytes_[pos_ + 1]) << 16) |
             (static_cast<std::uint32_t>(bytes_[pos_ + 2]) << 8) |
@@ -45,10 +80,11 @@ public:
         v = (static_cast<std::uint64_t>(hi) << 32) | lo;
         return true;
     }
-    bool exhausted() const { return pos_ == bytes_.size(); }
+    bool exhausted() const { return pos_ == limit_; }
 
 private:
     const std::vector<std::uint8_t>& bytes_;
+    std::size_t limit_;
     std::size_t pos_ = 0;
 };
 
@@ -74,15 +110,16 @@ std::vector<std::uint8_t> encode(const DataPacket& p) {
     if (p.parity) flags |= kFlagParity;
     put_u8(out, flags);
     put_u32(out, static_cast<std::uint32_t>(p.fec_group));
+    seal(out);
     return out;
 }
 
 std::size_t data_packet_header_bytes() noexcept {
     // tag + seq + window + layer + tx_pos + frame + frag + nfrags + size +
-    // flags + fec_group.  seq and frame_index travel as 32-bit values —
-    // 4 G packets / frames per session is ample — keeping the header
-    // within the 256 bits the simulator budgets per packet.
-    return 1 + 4 + 4 + 1 + 4 + 4 + 1 + 1 + 4 + 1 + 4;
+    // flags + fec_group + crc16.  seq and frame_index travel as 32-bit
+    // values — 4 G packets / frames per session is ample — keeping the
+    // header within the 256 bits the simulator budgets per packet.
+    return 1 + 4 + 4 + 1 + 4 + 4 + 1 + 1 + 4 + 1 + 4 + kChecksumBytes;
 }
 
 std::vector<std::uint8_t> encode(const WindowTrailer& t) {
@@ -94,6 +131,7 @@ std::vector<std::uint8_t> encode(const WindowTrailer& t) {
     for (const std::size_t sent : t.layer_sent) {
         put_u32(out, static_cast<std::uint32_t>(sent));
     }
+    seal(out);
     return out;
 }
 
@@ -109,6 +147,7 @@ std::vector<std::uint8_t> encode(const Feedback& f) {
                          ? static_cast<std::uint32_t>(f.layer_lost[l])
                          : 0u);
     }
+    seal(out);
     return out;
 }
 
@@ -124,6 +163,7 @@ std::optional<WireType> peek_type(const std::vector<std::uint8_t>& bytes) {
 
 std::optional<DataPacket> decode_data(const std::vector<std::uint8_t>& bytes) {
     if (peek_type(bytes) != WireType::kData) return std::nullopt;
+    if (!checksum_ok(bytes)) return std::nullopt;
     Reader r{bytes};
     std::uint8_t tag = 0;
     std::uint8_t layer = 0;
@@ -144,6 +184,10 @@ std::optional<DataPacket> decode_data(const std::vector<std::uint8_t>& bytes) {
         return std::nullopt;
     }
     if (num_fragments == 0 || fragment >= num_fragments) return std::nullopt;
+    // Unknown flag bits are rejected (not silently dropped): every accepted
+    // byte string re-encodes to exactly itself, which the fuzz harness
+    // asserts (canonical codec).
+    if ((flags & ~(kFlagRetransmission | kFlagParity)) != 0) return std::nullopt;
     p.seq = seq;
     p.frame_index = frame_index;
     p.window = window;
@@ -160,6 +204,7 @@ std::optional<DataPacket> decode_data(const std::vector<std::uint8_t>& bytes) {
 
 std::optional<WindowTrailer> decode_trailer(const std::vector<std::uint8_t>& bytes) {
     if (peek_type(bytes) != WireType::kTrailer) return std::nullopt;
+    if (!checksum_ok(bytes)) return std::nullopt;
     Reader r{bytes};
     std::uint8_t tag = 0;
     std::uint8_t layers = 0;
@@ -181,6 +226,7 @@ std::optional<WindowTrailer> decode_trailer(const std::vector<std::uint8_t>& byt
 
 std::optional<Feedback> decode_feedback(const std::vector<std::uint8_t>& bytes) {
     if (peek_type(bytes) != WireType::kFeedback) return std::nullopt;
+    if (!checksum_ok(bytes)) return std::nullopt;
     Reader r{bytes};
     std::uint8_t tag = 0;
     std::uint8_t layers = 0;

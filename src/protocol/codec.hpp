@@ -4,10 +4,14 @@
 // The simulator moves records as in-memory structs (payload bits are
 // accounted, not materialized), but a deployment needs real headers; this
 // codec defines them: fixed-width big-endian fields, a one-byte type tag,
-// and bounds-checked decoding that rejects truncated or corrupt input
-// instead of reading past the buffer.  kPacketHeaderBits in session.cpp
-// budgets 256 header bits per packet; encoded_size() of a DataPacket is
-// asserted (in tests) to fit that budget.
+// a trailing CRC-16 (wire_checksum in wire.hpp) sealing every record, and
+// bounds-checked decoding that rejects truncated or corrupt input instead
+// of reading past the buffer.  The codec is canonical: decode accepts a
+// byte string iff re-encoding the decoded record reproduces it exactly —
+// the property the deterministic fuzz harness (tests/test_codec_fuzz) and
+// the optional libFuzzer target (fuzz_codec) drive.  kPacketHeaderBits in
+// session.cpp budgets 256 header bits per packet; encoded_size() of a
+// DataPacket is asserted (in tests) to fit that budget.
 #pragma once
 
 #include <cstddef>

@@ -39,6 +39,23 @@ sim::SimTime SessionConfig::window_duration() const {
     return sim::from_seconds(static_cast<double>(window_ldus()) / frame_rate());
 }
 
+void SessionConfig::blackout_feedback_windows(std::size_t first,
+                                              std::size_t last) {
+    const sim::SimTime T = window_duration();
+    // Window w's ACK departs just after its playout deadline at (w+1)T;
+    // cover up to the next deadline so propagation slack cannot leak it.
+    feedback_impairment.blackouts.push_back(
+        {static_cast<sim::SimTime>(first + 1) * T,
+         static_cast<sim::SimTime>(last + 2) * T});
+}
+
+void SessionConfig::blackout_data_windows(std::size_t first, std::size_t last) {
+    const sim::SimTime T = window_duration();
+    data_impairment.blackouts.push_back(
+        {static_cast<sim::SimTime>(first) * T,
+         static_cast<sim::SimTime>(last + 1) * T});
+}
+
 void SessionConfig::validate() const {
     if (stream.kind == StreamKind::kMpeg || stream.kind == StreamKind::kTraceFile) {
         if (stream.kind == StreamKind::kMpeg) {
@@ -84,6 +101,8 @@ void SessionConfig::validate() const {
     if (estimator == EstimatorKind::kSlidingMax && sliding_history == 0) {
         throw std::invalid_argument("SessionConfig: sliding_history must be >= 1");
     }
+    data_impairment.validate();
+    feedback_impairment.validate();
 }
 
 }  // namespace espread::proto

@@ -8,6 +8,7 @@
 
 #include "media/gop.hpp"
 #include "net/channel.hpp"
+#include "net/fault.hpp"
 #include "net/fragment.hpp"
 #include "net/gilbert.hpp"
 
@@ -111,6 +112,27 @@ struct SessionConfig {
     net::GilbertParams feedback_loss{0.92, 0.6};
     std::size_t packet_bits = net::kDefaultPacketBits;  ///< 16384 (2 KB)
     std::size_t feedback_bits = 512;
+
+    /// Fault-injection plans for each direction (net/fault.hpp): packet
+    /// reordering, duplication, header corruption (surfaced through the
+    /// wire codec's checksum), delay jitter, scripted blackouts and forced
+    /// bursts.  Default-constructed = inactive = byte-identical behavior to
+    /// a session without the fault layer.  Impairment randomness draws from
+    /// dedicated RNG streams (seed splits 4 and 5), so turning faults on
+    /// does not shift the Gilbert loss or media processes.
+    net::ImpairmentConfig data_impairment;
+    net::ImpairmentConfig feedback_impairment;
+
+    /// Appends a blackout to `feedback_impairment` covering the ACK
+    /// departures of windows [first, last] (inclusive): the window-w ACK
+    /// leaves the client shortly after (w+1) window durations.  This is the
+    /// "kill the ACK path for windows 3–5" fault plan.
+    void blackout_feedback_windows(std::size_t first, std::size_t last);
+
+    /// Appends a blackout to `data_impairment` covering the data
+    /// transmissions of windows [first, last] (inclusive): window w's
+    /// packets depart within [w, w+1) window durations.
+    void blackout_data_windows(std::size_t first, std::size_t last);
 
     std::size_t num_windows = 100;  ///< paper plots 100 buffer windows
     std::uint64_t seed = 1;

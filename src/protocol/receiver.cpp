@@ -19,18 +19,62 @@ Receiver::Receiver(std::size_t window_ldus, std::vector<std::size_t> layer_sizes
     }
 }
 
+void Receiver::trace_drop(obs::EventType type, const DataPacket& p,
+                          sim::SimTime now) {
+    if (!trace_) return;
+    obs::TraceEvent e;
+    e.time = now;
+    e.type = type;
+    e.actor = obs::Actor::kClient;
+    e.window = p.window;
+    e.seq = p.seq;
+    e.arg = static_cast<std::int64_t>(p.frame_index);
+    trace_->record(e);
+}
+
 void Receiver::on_packet(const DataPacket& p, sim::SimTime now) {
     ++packets_seen_;
     if (p.parity) return;
+    if (finalized_.count(p.window)) {
+        // The window already played out; a late/reordered/duplicated copy
+        // must not resurrect per-window state (it would leak until session
+        // end and corrupt a re-finalize).
+        ++stale_dropped_;
+        trace_drop(obs::EventType::kStaleDropped, p, now);
+        return;
+    }
+    if (p.num_fragments == 0 || p.fragment >= p.num_fragments ||
+        p.layer >= layer_sizes_.size() ||
+        (window_limit_ != 0 && p.window >= window_limit_)) {
+        // Only a corrupted-but-decodable header can claim an impossible
+        // geometry; dropping it beats a FrameAssembly that can never (or
+        // instantly) complete.
+        ++mismatch_dropped_;
+        return;
+    }
     const std::size_t local = p.frame_index % window_ldus_;
     WindowState& w = windows_[p.window];
     FrameAssembly& fa = w.frames[local];
-    fa.num_fragments = p.num_fragments;
-    fa.layer = p.layer;
-    fa.tx_pos = p.tx_pos;
-    const bool was_complete = fa.complete() && fa.num_fragments > 0;
+    if (fa.num_fragments == 0) {
+        // First packet of the frame pins its geometry.
+        fa.num_fragments = p.num_fragments;
+        fa.layer = p.layer;
+        fa.tx_pos = p.tx_pos;
+    } else if (fa.num_fragments != p.num_fragments || fa.layer != p.layer ||
+               fa.tx_pos != p.tx_pos) {
+        // Conflicting header for an established frame: reject the intruder
+        // instead of letting it clobber fragment accounting.
+        ++mismatch_dropped_;
+        return;
+    }
+    if (fa.received.count(p.fragment)) {
+        // Retransmission/duplication overlap: each LDU fragment counts once.
+        ++duplicates_dropped_;
+        trace_drop(obs::EventType::kDupDropped, p, now);
+        return;
+    }
     fa.received.insert(p.fragment);
-    if (!was_complete && fa.complete()) {
+    if (fa.complete()) {
         fa.completed_at = now;
         if (trace_) {
             obs::TraceEvent e;
@@ -46,7 +90,21 @@ void Receiver::on_packet(const DataPacket& p, sim::SimTime now) {
 }
 
 void Receiver::on_trailer(const WindowTrailer& t) {
+    if (window_limit_ != 0 && t.window >= window_limit_) {
+        ++mismatch_dropped_;
+        return;
+    }
+    if (finalized_.count(t.window)) {
+        ++stale_dropped_;
+        return;
+    }
     WindowState& w = windows_[t.window];
+    if (w.trailer_seen) {
+        // First trailer wins; a duplicated (possibly corrupted) repeat must
+        // not rewrite the sent counts.
+        ++duplicates_dropped_;
+        return;
+    }
     w.layer_sent = t.layer_sent;
     w.trailer_seen = true;
 }
@@ -58,6 +116,7 @@ WindowOutcome Receiver::finalize(std::size_t window) {
     out.layer_lost.assign(layer_sizes_.size(), 0);
     out.playable_at.assign(window_ldus_, std::nullopt);
 
+    finalized_.insert(window);
     const auto it = windows_.find(window);
     if (it == windows_.end()) {
         // Nothing arrived: every layer is one solid loss burst (up to its

@@ -6,6 +6,15 @@
 // that feeds the continuity metrics and (b) the per-layer maximum
 // consecutive frame loss in transmission order — the estimate it ACKs back
 // to the server.
+//
+// The datagram path makes no FIFO promise (net/fault.hpp injects
+// reordering, duplication and corruption), so the receiver defends itself:
+// duplicate fragments are discarded (each LDU counts once), packets for
+// already-finalized windows are dropped instead of resurrecting window
+// state, and a packet whose header conflicts with the frame's established
+// geometry (fragment count / layer / wire position) is rejected rather
+// than allowed to clobber it.  Each defense is counted and traced
+// (kDupDropped / kStaleDropped) so impairment is observable.
 #pragma once
 
 #include <cstddef>
@@ -69,12 +78,26 @@ public:
     /// fragment arrives.
     void set_trace(obs::TraceSink* sink) noexcept { trace_ = sink; }
 
+    /// Rejects packets/trailers claiming a window >= `limit` (0 = no
+    /// limit).  A corrupted-but-plausible header with a garbage window
+    /// number would otherwise create per-window state that is never
+    /// finalized and so never reclaimed.
+    void set_window_limit(std::size_t limit) noexcept { window_limit_ = limit; }
+
     /// Closes window `w`: computes the outcome and releases its state.
     /// Windows may be finalized in any order; unseen windows yield an
     /// all-lost outcome.
     WindowOutcome finalize(std::size_t window);
 
     std::size_t packets_seen() const noexcept { return packets_seen_; }
+
+    /// Duplicate fragments (and repeated trailers) discarded.
+    std::size_t duplicates_dropped() const noexcept { return duplicates_dropped_; }
+    /// Packets/trailers for already-finalized windows discarded.
+    std::size_t stale_dropped() const noexcept { return stale_dropped_; }
+    /// Packets whose header conflicted with established frame geometry
+    /// (corrupt-but-decodable headers, or fragment ids out of range).
+    std::size_t mismatch_dropped() const noexcept { return mismatch_dropped_; }
 
 private:
     struct FrameAssembly {
@@ -91,11 +114,18 @@ private:
         bool trailer_seen = false;
     };
 
+    void trace_drop(obs::EventType type, const DataPacket& p, sim::SimTime now);
+
     std::size_t window_ldus_;
     std::vector<std::size_t> layer_sizes_;
     std::vector<std::vector<std::size_t>> prereqs_;
     std::map<std::size_t, WindowState> windows_;
+    std::set<std::size_t> finalized_;  ///< windows already closed
+    std::size_t window_limit_ = 0;     ///< 0 = unlimited
     std::size_t packets_seen_ = 0;
+    std::size_t duplicates_dropped_ = 0;
+    std::size_t stale_dropped_ = 0;
+    std::size_t mismatch_dropped_ = 0;
     obs::TraceSink* trace_ = nullptr;
 };
 

@@ -10,7 +10,9 @@
 
 #include "media/trace.hpp"
 #include "media/trace_io.hpp"
+#include "net/fault.hpp"
 #include "net/fragment.hpp"
+#include "protocol/codec.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 
@@ -27,6 +29,41 @@ constexpr std::size_t kPacketHeaderBits = 256;
 constexpr sim::SimTime kFinalizeSlack = sim::from_millis(2.0);
 
 using DataMsg = std::variant<DataPacket, WindowTrailer>;
+
+/// Applies `1..max_flips` random bit flips to an encoded record.
+void flip_bits(std::vector<std::uint8_t>& bytes, sim::Rng& rng,
+               std::size_t max_flips) {
+    const std::uint64_t flips =
+        rng.uniform_int(1, static_cast<std::uint64_t>(max_flips));
+    for (std::uint64_t i = 0; i < flips; ++i) {
+        const std::uint64_t byte = rng.uniform_int(0, bytes.size() - 1);
+        bytes[byte] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+    }
+}
+
+/// Corruption surfaced through the real wire codec: encode the record, flip
+/// bits, decode.  The codec checksum catches almost all flips (nullopt ->
+/// the channel counts a corrupt_rejected drop); the rare undetected one
+/// delivers a corrupted-but-plausible record, which is exactly the hostile
+/// input the hardened receiver/estimator must survive.
+std::optional<DataMsg> corrupt_data_msg(const DataMsg& m, sim::Rng& rng,
+                                        std::size_t max_flips) {
+    std::vector<std::uint8_t> bytes =
+        std::holds_alternative<DataPacket>(m)
+            ? encode(std::get<DataPacket>(m))
+            : encode(std::get<WindowTrailer>(m));
+    flip_bits(bytes, rng, max_flips);
+    if (auto p = decode_data(bytes)) return DataMsg{*p};
+    if (auto t = decode_trailer(bytes)) return DataMsg{*t};
+    return std::nullopt;
+}
+
+std::optional<Feedback> corrupt_feedback(const Feedback& f, sim::Rng& rng,
+                                         std::size_t max_flips) {
+    std::vector<std::uint8_t> bytes = encode(f);
+    flip_bits(bytes, rng, max_flips);
+    return decode_feedback(bytes);
+}
 
 }  // namespace
 
@@ -74,6 +111,23 @@ struct Session::Impl {
             }
         }
 
+        if (cfg.data_impairment.active()) {
+            const std::size_t flips = cfg.data_impairment.corrupt_max_bit_flips;
+            data.set_impairments(cfg.data_impairment, rng.split(4),
+                                 [flips](const DataMsg& m, sim::Rng& r) {
+                                     return corrupt_data_msg(m, r, flips);
+                                 });
+        }
+        if (cfg.feedback_impairment.active()) {
+            const std::size_t flips =
+                cfg.feedback_impairment.corrupt_max_bit_flips;
+            feedback.set_impairments(cfg.feedback_impairment, rng.split(5),
+                                     [flips](const Feedback& f, sim::Rng& r) {
+                                         return corrupt_feedback(f, r, flips);
+                                     });
+        }
+
+        receiver.set_window_limit(cfg.num_windows);
         data.set_receiver([this](DataMsg m) {
             if (std::holds_alternative<DataPacket>(m)) {
                 receiver.on_packet(std::get<DataPacket>(m), queue.now());
@@ -528,6 +582,15 @@ struct Session::Impl {
             if (l < critical.size() && critical[l]) continue;
             observed = std::max(observed, f.layer_max_burst[l]);
         }
+        if (feedback.impaired()) {
+            // A corrupted-but-plausible ACK can report an absurd burst; one
+            // such value must not poison the estimator for the rest of the
+            // stream.  Clamp to the largest physically observable run (the
+            // non-critical layer size) — graceful degradation, never a
+            // crash or a runaway bound.
+            observed = std::min(
+                observed, std::max<std::size_t>(planner.noncritical_size(), 1));
+        }
         const std::size_t old_sliding_bound = sliding.bound();
         estimator.update(observed);  // fires the EWMA trace observer
         sliding.update(observed);
@@ -622,6 +685,29 @@ struct Session::Impl {
         m.add_counter("frames_undecodable", undecodable);
         m.histogram("loss_run_length").merge(result.data_channel.loss_runs);
         m.histogram("retransmit_latency_ms").merge(retx_latency_ms);
+
+        // Impairment accounting appears only when a fault plan is active,
+        // so unimpaired metric registries stay byte-identical to pre-fault
+        // builds (the zero-cost-off contract).
+        if (cfg.data_impairment.active() || cfg.feedback_impairment.active()) {
+            m.add_counter("data_packets_duplicated",
+                          result.data_channel.duplicated);
+            m.add_counter("data_packets_corrupt_rejected",
+                          result.data_channel.corrupt_rejected);
+            m.add_counter("data_packets_reordered",
+                          result.data_channel.reordered);
+            m.add_counter("data_packets_forced_dropped",
+                          result.data_channel.forced_dropped);
+            m.add_counter("feedback_corrupt_rejected",
+                          result.feedback_channel.corrupt_rejected);
+            m.add_counter("feedback_forced_dropped",
+                          result.feedback_channel.forced_dropped);
+            m.add_counter("recv_duplicates_dropped",
+                          receiver.duplicates_dropped());
+            m.add_counter("recv_stale_dropped", receiver.stale_dropped());
+            m.add_counter("recv_mismatch_dropped",
+                          receiver.mismatch_dropped());
+        }
     }
 
     SessionConfig cfg;
@@ -631,8 +717,8 @@ struct Session::Impl {
     Receiver receiver;
     espread::BurstEstimator estimator;
     espread::SlidingMaxEstimator sliding;
-    net::Channel<DataMsg> data;
-    net::Channel<Feedback> feedback;
+    net::FaultChannel<DataMsg> data;
+    net::FaultChannel<Feedback> feedback;
     PlayoutClock playout;
 
     std::optional<media::TraceGenerator> mpeg;

@@ -2,7 +2,9 @@
 //
 // These carry only header-style metadata (sequence numbers, window/layer
 // coordinates); payload bits are simulated by size accounting on the
-// channel, never materialized.
+// channel, never materialized.  The byte-level encoding (protocol/codec)
+// seals every record with a trailing 16-bit checksum so corrupted headers
+// are rejected at decode time instead of poisoning receiver state.
 #pragma once
 
 #include <cstddef>
@@ -10,6 +12,13 @@
 #include <vector>
 
 namespace espread::proto {
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) over `size` bytes.  Every
+/// encoded record carries this over its preceding bytes as its final two
+/// bytes (big-endian); decoders verify it before reading any field, which
+/// is what turns random bit flips into clean kCorruptRejected drops rather
+/// than plausible-but-wrong headers.
+std::uint16_t wire_checksum(const std::uint8_t* data, std::size_t size) noexcept;
 
 /// One data packet: a fragment of one frame of one buffer window.
 struct DataPacket {

@@ -1,0 +1,33 @@
+// libFuzzer entry point for the wire codec (built only with
+// -DESPREAD_LIBFUZZER=ON; requires clang's -fsanitize=fuzzer).
+//
+//   cmake -B build -S . -DESPREAD_LIBFUZZER=ON \
+//         -DCMAKE_CXX_COMPILER=clang++ \
+//         -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined"
+//   ./build/tests/fuzz_codec -max_len=512 corpus/
+//
+// Checks the same invariants as tests/test_codec_fuzz.cpp: decoders never
+// crash or read out of bounds on arbitrary bytes, and any accepted input
+// re-encodes to exactly itself (canonical codec).
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "protocol/codec.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+    const std::vector<std::uint8_t> bytes(data, data + size);
+    (void)espread::proto::peek_type(bytes);
+    if (const auto p = espread::proto::decode_data(bytes)) {
+        if (espread::proto::encode(*p) != bytes) std::abort();
+    }
+    if (const auto t = espread::proto::decode_trailer(bytes)) {
+        if (espread::proto::encode(*t) != bytes) std::abort();
+    }
+    if (const auto f = espread::proto::decode_feedback(bytes)) {
+        if (espread::proto::encode(*f) != bytes) std::abort();
+    }
+    return 0;
+}

@@ -2,15 +2,21 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/fragment.hpp"
 
 namespace {
 
 using espread::net::Channel;
+using espread::net::FaultChannel;
 using espread::net::GilbertParams;
+using espread::net::ImpairmentConfig;
 using espread::net::LinkConfig;
 using espread::sim::EventQueue;
 using espread::sim::from_millis;
@@ -142,6 +148,246 @@ TEST(Channel, RejectsBadLinkConfig) {
                  std::invalid_argument);
     EXPECT_THROW((Channel<int>{q, LinkConfig{1e6, -5}, kLossless, Rng{1}}),
                  std::invalid_argument);
+}
+
+// ---- FaultChannel ---------------------------------------------------------
+
+/// delivered + dropped + corrupt_rejected == sent + duplicated, and the
+/// loss-run histogram still sums to dropped: the reconciliation contract
+/// every impaired run must satisfy once the queue has drained.
+void expect_reconciled(const espread::net::ChannelStats& s,
+                       std::size_t received) {
+    EXPECT_EQ(s.delivered, received);
+    EXPECT_EQ(s.delivered + s.dropped + s.corrupt_rejected,
+              s.sent + s.duplicated);
+    EXPECT_LE(s.forced_dropped, s.dropped);
+    std::size_t in_runs = 0;
+    for (const auto& [len, count] : s.loss_runs.bins()) {
+        in_runs += static_cast<std::size_t>(len) * count;
+    }
+    EXPECT_EQ(in_runs, s.dropped);
+}
+
+TEST(FaultChannel, InactiveConfigMatchesBareChannelExactly) {
+    auto run = [](auto& ch, EventQueue& q) {
+        std::vector<std::pair<SimTime, int>> got;
+        ch.set_receiver([&](int v) { got.emplace_back(q.now(), v); });
+        for (int i = 0; i < 300; ++i) ch.send(i, 700);
+        q.run();
+        return got;
+    };
+    EventQueue q1;
+    Channel<int> bare{q1, LinkConfig{1e6, from_millis(3)},
+                      GilbertParams{0.9, 0.5}, Rng{42}};
+    EventQueue q2;
+    FaultChannel<int> faulty{q2, LinkConfig{1e6, from_millis(3)},
+                             GilbertParams{0.9, 0.5}, Rng{42}};
+    faulty.set_impairments(ImpairmentConfig{}, Rng{7});  // inactive
+    EXPECT_FALSE(faulty.impaired());
+    const auto a = run(bare, q1);
+    const auto b = run(faulty, q2);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(bare.stats().dropped, faulty.stats().dropped);
+}
+
+TEST(FaultChannel, FullMixReconciles) {
+    EventQueue q;
+    FaultChannel<int> ch{q, LinkConfig{1e6, from_millis(3)},
+                         GilbertParams{0.9, 0.5}, Rng{11}};
+    ImpairmentConfig cfg;
+    cfg.reorder_rate = 0.2;
+    cfg.duplicate_rate = 0.15;
+    cfg.corrupt_rate = 0.2;
+    cfg.jitter_rate = 0.3;
+    cfg.bursts.push_back({50, 7});
+    cfg.blackouts.push_back({from_millis(200), from_millis(230)});
+    // Corrupter: half detected (reject), half survives mutated.
+    ch.set_impairments(cfg, Rng{99}, [](const int& v, Rng& r) {
+        return r.bernoulli(0.5) ? std::optional<int>(v ^ 1) : std::nullopt;
+    });
+    std::size_t received = 0;
+    ch.set_receiver([&](int) { ++received; });
+    for (int i = 0; i < 500; ++i) ch.send(i, 700);
+    q.run();
+    const auto s = ch.stats();
+    EXPECT_EQ(s.sent, 500u);
+    EXPECT_GT(s.duplicated, 0u);
+    EXPECT_GT(s.corrupt_rejected, 0u);
+    EXPECT_GT(s.reordered, 0u);
+    EXPECT_GE(s.forced_dropped, 7u);  // the scripted burst at minimum
+    expect_reconciled(s, received);
+}
+
+TEST(FaultChannel, ReorderDisplacementIsBounded) {
+    EventQueue q;
+    FaultChannel<int> ch{q, LinkConfig{1e6, 0}, GilbertParams{1.0, 0.0},
+                         Rng{1}};
+    ImpairmentConfig cfg;
+    cfg.reorder_rate = 0.5;
+    cfg.reorder_max_displacement = 3;
+    ch.set_impairments(cfg, Rng{5});
+    std::vector<int> order;
+    ch.set_receiver([&](int v) { order.push_back(v); });
+    constexpr int kN = 200;
+    for (int i = 0; i < kN; ++i) ch.send(i, 1000);
+    q.run();
+    ASSERT_EQ(order.size(), static_cast<std::size_t>(kN));
+    // With back-to-back equal-size lossless sends, a displaced packet moves
+    // at most reorder_max_displacement positions in either direction.
+    bool any_displaced = false;
+    for (int pos = 0; pos < kN; ++pos) {
+        EXPECT_LE(std::abs(order[pos] - pos), 3) << "at position " << pos;
+        if (order[pos] != pos) any_displaced = true;
+    }
+    EXPECT_TRUE(any_displaced);
+    // Every packet still arrives exactly once.
+    std::vector<int> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < kN; ++i) EXPECT_EQ(sorted[i], i);
+    expect_reconciled(ch.stats(), order.size());
+}
+
+TEST(FaultChannel, DuplicatesDeliverTwiceAndCount) {
+    EventQueue q;
+    FaultChannel<int> ch{q, LinkConfig{1e6, 0}, GilbertParams{1.0, 0.0},
+                         Rng{1}};
+    ImpairmentConfig cfg;
+    cfg.duplicate_rate = 1.0;
+    cfg.duplicate_delay = from_millis(2);
+    ch.set_impairments(cfg, Rng{3});
+    std::vector<int> got;
+    ch.set_receiver([&](int v) { got.push_back(v); });
+    for (int i = 0; i < 10; ++i) ch.send(i, 1000);
+    q.run();
+    const auto s = ch.stats();
+    EXPECT_EQ(s.sent, 10u);
+    EXPECT_EQ(s.duplicated, 10u);
+    EXPECT_EQ(s.delivered, 20u);
+    // Each value arrives exactly twice, the copy after the original.
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(std::count(got.begin(), got.end(), i), 2);
+    }
+    expect_reconciled(s, got.size());
+}
+
+TEST(FaultChannel, BlackoutKillsExactlyTheInterval) {
+    EventQueue q;
+    FaultChannel<int> ch{q, LinkConfig{1e6, 0}, GilbertParams{1.0, 0.0},
+                         Rng{1}};
+    ImpairmentConfig cfg;
+    // Packets are 1 ms each, back to back: packet i departs at i ms.
+    cfg.blackouts.push_back({from_millis(5), from_millis(10)});
+    ch.set_impairments(cfg, Rng{3});
+    std::vector<int> got;
+    ch.set_receiver([&](int v) { got.push_back(v); });
+    for (int i = 0; i < 20; ++i) ch.send(i, 1000);
+    q.run();
+    EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4, 10, 11, 12, 13, 14, 15,
+                                     16, 17, 18, 19}));
+    const auto s = ch.stats();
+    EXPECT_EQ(s.forced_dropped, 5u);
+    EXPECT_EQ(s.dropped, 5u);
+    // The five scripted drops form one loss run.
+    ASSERT_EQ(s.loss_runs.bins().size(), 1u);
+    EXPECT_EQ(s.loss_runs.bins().begin()->first, 5);
+    expect_reconciled(s, got.size());
+}
+
+TEST(FaultChannel, ForcedBurstDropsBydIndex) {
+    EventQueue q;
+    FaultChannel<int> ch{q, LinkConfig{1e6, 0}, GilbertParams{1.0, 0.0},
+                         Rng{1}};
+    ImpairmentConfig cfg;
+    cfg.bursts.push_back({3, 4});  // sends 3,4,5,6
+    ch.set_impairments(cfg, Rng{3});
+    std::vector<int> got;
+    ch.set_receiver([&](int v) { got.push_back(v); });
+    for (int i = 0; i < 10; ++i) ch.send(i, 1000);
+    q.run();
+    EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 7, 8, 9}));
+    EXPECT_EQ(ch.stats().forced_dropped, 4u);
+    expect_reconciled(ch.stats(), got.size());
+}
+
+TEST(FaultChannel, CorruptWithoutCorrupterRejectsOutright) {
+    EventQueue q;
+    FaultChannel<int> ch{q, LinkConfig{1e6, 0}, GilbertParams{1.0, 0.0},
+                         Rng{1}};
+    ImpairmentConfig cfg;
+    cfg.corrupt_rate = 1.0;
+    ch.set_impairments(cfg, Rng{3});  // no corrupter installed
+    std::size_t received = 0;
+    ch.set_receiver([&](int) { ++received; });
+    for (int i = 0; i < 8; ++i) ch.send(i, 1000);
+    q.run();
+    EXPECT_EQ(received, 0u);
+    EXPECT_EQ(ch.stats().corrupt_rejected, 8u);
+    expect_reconciled(ch.stats(), received);
+}
+
+TEST(FaultChannel, ImpairedRunIsDeterministicPerSeed) {
+    auto run = [](std::uint64_t fault_seed) {
+        EventQueue q;
+        FaultChannel<int> ch{q, LinkConfig{1e6, 0}, GilbertParams{0.9, 0.5},
+                             Rng{5}};
+        ImpairmentConfig cfg;
+        cfg.reorder_rate = 0.3;
+        cfg.duplicate_rate = 0.2;
+        cfg.jitter_rate = 0.4;
+        ch.set_impairments(cfg, Rng{fault_seed});
+        std::vector<std::pair<SimTime, int>> got;
+        ch.set_receiver([&](int v) { got.emplace_back(q.now(), v); });
+        for (int i = 0; i < 200; ++i) ch.send(i, 500);
+        q.run();
+        return got;
+    };
+    EXPECT_EQ(run(9), run(9));
+    EXPECT_NE(run(9), run(10));
+}
+
+TEST(FaultChannel, GilbertStreamUnchangedByFaultLayer) {
+    // Enabling impairments must not shift the link's loss process: the same
+    // send indices are Gilbert-dropped with and without faults.
+    auto gilbert_drops = [](bool impaired) {
+        EventQueue q;
+        FaultChannel<int> ch{q, LinkConfig{1e6, 0}, GilbertParams{0.9, 0.5},
+                             Rng{21}};
+        if (impaired) {
+            ImpairmentConfig cfg;
+            cfg.duplicate_rate = 0.5;
+            cfg.jitter_rate = 0.5;
+            ch.set_impairments(cfg, Rng{77});
+        }
+        std::vector<int> dropped;
+        ch.set_receiver([](int) {});
+        for (int i = 0; i < 300; ++i) {
+            if (!ch.send(i, 500)) dropped.push_back(i);
+        }
+        q.run();
+        return dropped;
+    };
+    EXPECT_EQ(gilbert_drops(false), gilbert_drops(true));
+}
+
+TEST(FaultChannel, ValidateRejectsBadConfigs) {
+    EventQueue q;
+    FaultChannel<int> ch{q, LinkConfig{1e6, 0}, GilbertParams{1.0, 0.0},
+                         Rng{1}};
+    ImpairmentConfig bad_rate;
+    bad_rate.duplicate_rate = 1.5;
+    EXPECT_THROW(ch.set_impairments(bad_rate, Rng{1}), std::invalid_argument);
+    ImpairmentConfig bad_disp;
+    bad_disp.reorder_rate = 0.1;
+    bad_disp.reorder_max_displacement = 0;
+    EXPECT_THROW(ch.set_impairments(bad_disp, Rng{1}), std::invalid_argument);
+    ImpairmentConfig bad_blackout;
+    bad_blackout.blackouts.push_back({from_millis(10), from_millis(5)});
+    EXPECT_THROW(ch.set_impairments(bad_blackout, Rng{1}),
+                 std::invalid_argument);
+    ImpairmentConfig inactive;
+    inactive.blackouts.push_back({from_millis(5), from_millis(5)});  // empty
+    ch.set_impairments(inactive, Rng{1});
+    EXPECT_FALSE(ch.impaired());
 }
 
 TEST(Fragment, ExactDivision) {

@@ -181,4 +181,83 @@ TEST(Receiver, RejectsInvalidConstruction) {
                  std::invalid_argument);
 }
 
+// ---- hardening against non-FIFO and corrupted delivery --------------------
+
+TEST(Receiver, DuplicatedThenReorderedPacketCountsEachLduOnce) {
+    // Regression for the latent FIFO assumption: a frame's fragments arrive,
+    // then a network-duplicated copy of fragment 0 shows up late (reordered
+    // past the frame's completion).  The duplicate must be discarded, not
+    // recounted, and the frame stays complete exactly once.
+    Receiver r = flat_receiver();
+    r.on_packet(packet(0, 0, 0, 0, 0, 2));
+    r.on_packet(packet(0, 0, 0, 0, 1, 2));  // completes the frame
+    r.on_packet(packet(0, 0, 0, 0, 0, 2));  // late duplicate of fragment 0
+    EXPECT_EQ(r.duplicates_dropped(), 1u);
+    r.on_trailer(trailer(0, {1}));
+    const WindowOutcome out = r.finalize(0);
+    EXPECT_TRUE(out.playback[0]);
+    EXPECT_EQ(out.frames_received, 1u);
+}
+
+TEST(Receiver, ConflictingGeometryCannotClobberEstablishedFrame) {
+    // Pre-hardening, every packet overwrote num_fragments/layer/tx_pos, so
+    // a corrupted-but-plausible header claiming num_fragments=1 would make
+    // a half-arrived 2-fragment frame spuriously "complete".
+    Receiver r = flat_receiver();
+    r.on_packet(packet(0, 0, 0, 0, 0, 2));  // fragment 0 of 2
+    r.on_packet(packet(0, 0, 0, 0, 0, 1));  // liar: claims 1 fragment total
+    EXPECT_EQ(r.mismatch_dropped(), 1u);
+    r.on_trailer(trailer(0, {1}));
+    const WindowOutcome out = r.finalize(0);
+    EXPECT_FALSE(out.playback[0]);  // fragment 1 of 2 never arrived
+}
+
+TEST(Receiver, StalePacketsForFinalizedWindowDiscarded) {
+    Receiver r = flat_receiver();
+    r.on_packet(packet(0, 0, 0, 0));
+    r.finalize(0);
+    // Late arrivals for the closed window must not resurrect its state.
+    r.on_packet(packet(0, 1, 0, 1));
+    r.on_trailer(trailer(0, {4}));
+    EXPECT_EQ(r.stale_dropped(), 2u);
+    const WindowOutcome again = r.finalize(0);
+    EXPECT_EQ(again.frames_received, 0u);
+}
+
+TEST(Receiver, DuplicateTrailerFirstWins) {
+    Receiver r = flat_receiver();
+    r.on_packet(packet(0, 0, 0, 0));
+    r.on_packet(packet(0, 1, 0, 1));
+    r.on_trailer(trailer(0, {2}));
+    r.on_trailer(trailer(0, {4}));  // duplicated/corrupted repeat
+    EXPECT_EQ(r.duplicates_dropped(), 1u);
+    const WindowOutcome out = r.finalize(0);
+    // Measurement span stays at the first trailer's 2 sent frames.
+    EXPECT_EQ(out.layer_lost, (std::vector<std::size_t>{0}));
+}
+
+TEST(Receiver, ImpossibleHeadersRejected) {
+    Receiver r = flat_receiver();
+    DataPacket zero_frags = packet(0, 0, 0, 0, 0, 1);
+    zero_frags.num_fragments = 0;
+    r.on_packet(zero_frags);
+    r.on_packet(packet(0, 0, 0, 0, /*fragment=*/5, /*num_fragments=*/2));
+    DataPacket bad_layer = packet(0, 0, /*layer=*/9, 0);
+    r.on_packet(bad_layer);
+    EXPECT_EQ(r.mismatch_dropped(), 3u);
+    const WindowOutcome out = r.finalize(0);
+    EXPECT_EQ(out.frames_received, 0u);
+}
+
+TEST(Receiver, WindowLimitRejectsGarbageWindowNumbers) {
+    Receiver r = flat_receiver();
+    r.set_window_limit(10);
+    r.on_packet(packet(/*window=*/500, 0, 0, 0));
+    r.on_trailer(trailer(500, {4}));
+    EXPECT_EQ(r.mismatch_dropped(), 2u);
+    r.on_packet(packet(9, 0, 0, 0));  // within limit: accepted
+    const WindowOutcome out = r.finalize(9);
+    EXPECT_EQ(out.frames_received, 1u);
+}
+
 }  // namespace

@@ -1,0 +1,243 @@
+// Property tests for full sessions under fault injection: 64-seed sweeps
+// per impairment mix.  Whatever the network does — reordering, duplication,
+// corruption through the wire codec, jitter, ACK blackouts, adversarial
+// forced bursts — a session must terminate, keep its conservation laws
+// (now the impaired reconciliation delivered + dropped + corrupt_rejected
+// == sent + duplicated), never double-count an LDU, respect the pigeonhole
+// lower bound on CLF, and stay a pure function of (config, seed) — which
+// the Monte-Carlo thread-identity test pins down to byte-equal metric
+// registries for 1 thread vs 4.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "net/fault.hpp"
+#include "protocol/session.hpp"
+
+namespace {
+
+using espread::exp::MonteCarloRunner;
+using espread::exp::RunnerOptions;
+using espread::exp::TrialSummary;
+using espread::net::ImpairmentConfig;
+using espread::proto::run_session;
+using espread::proto::SessionConfig;
+using espread::proto::SessionResult;
+using espread::proto::StreamKind;
+
+/// Minimum possible max-consecutive-loss when `lost` of `n` slots are lost:
+/// the losses pigeonhole into the n - lost + 1 gaps around the survivors.
+std::size_t lower_bound_clf(std::size_t n, std::size_t lost) {
+    if (lost == 0) return 0;
+    if (lost >= n) return n;
+    const std::size_t gaps = n - lost + 1;
+    return (lost + gaps - 1) / gaps;
+}
+
+/// Fast-running session template (MJPEG avoids the MPEG trace generator).
+SessionConfig base_config(std::uint64_t seed) {
+    SessionConfig cfg;
+    cfg.stream.kind = StreamKind::kMjpeg;
+    cfg.stream.ldus_per_window = 16;
+    cfg.stream.frame_rate = 30.0;
+    cfg.stream.mjpeg_mean_bits = 16000.0;
+    cfg.num_windows = 8;
+    cfg.seed = seed;
+    return cfg;
+}
+
+enum class Mix { kReorder, kDuplicate, kCorrupt, kJitter, kKitchenSink };
+
+const char* mix_name(Mix m) {
+    switch (m) {
+        case Mix::kReorder: return "reorder";
+        case Mix::kDuplicate: return "duplicate";
+        case Mix::kCorrupt: return "corrupt";
+        case Mix::kJitter: return "jitter";
+        case Mix::kKitchenSink: return "kitchen-sink";
+    }
+    return "?";
+}
+
+SessionConfig mixed_config(Mix mix, std::uint64_t seed) {
+    SessionConfig cfg = base_config(seed);
+    switch (mix) {
+        case Mix::kReorder:
+            cfg.data_impairment.reorder_rate = 0.3;
+            cfg.data_impairment.reorder_max_displacement = 4;
+            break;
+        case Mix::kDuplicate:
+            cfg.data_impairment.duplicate_rate = 0.3;
+            cfg.feedback_impairment.duplicate_rate = 0.3;
+            break;
+        case Mix::kCorrupt:
+            cfg.data_impairment.corrupt_rate = 0.3;
+            cfg.feedback_impairment.corrupt_rate = 0.3;
+            break;
+        case Mix::kJitter:
+            cfg.data_impairment.jitter_rate = 0.5;
+            cfg.data_impairment.jitter_max = espread::sim::from_millis(8.0);
+            break;
+        case Mix::kKitchenSink:
+            cfg.data_impairment.reorder_rate = 0.2;
+            cfg.data_impairment.duplicate_rate = 0.15;
+            cfg.data_impairment.corrupt_rate = 0.15;
+            cfg.data_impairment.jitter_rate = 0.3;
+            cfg.data_impairment.bursts.push_back({40, 12});
+            cfg.feedback_impairment.corrupt_rate = 0.2;
+            cfg.blackout_feedback_windows(3, 5);  // kill the ACK path
+            break;
+    }
+    return cfg;
+}
+
+void check_invariants(const SessionConfig& cfg, const SessionResult& r) {
+    const std::size_t n = cfg.window_ldus();
+    ASSERT_EQ(r.windows.size(), cfg.num_windows);
+    EXPECT_EQ(r.total.slots, cfg.num_windows * n);
+    EXPECT_EQ(r.playout_window_clf.size(), cfg.num_windows);
+
+    // Impaired reconciliation on both channels.
+    const auto& d = r.data_channel;
+    EXPECT_EQ(d.delivered + d.dropped + d.corrupt_rejected,
+              d.sent + d.duplicated);
+    EXPECT_LE(d.forced_dropped, d.dropped);
+    const auto& f = r.feedback_channel;
+    EXPECT_EQ(f.delivered + f.dropped + f.corrupt_rejected,
+              f.sent + f.duplicated);
+
+    // One ACK per window no matter how hostile the network was.
+    EXPECT_EQ(r.acks_sent, cfg.num_windows);
+    EXPECT_LE(r.acks_applied, r.acks_sent);
+
+    for (std::size_t k = 0; k < r.windows.size(); ++k) {
+        const auto& w = r.windows[k];
+        EXPECT_LE(w.clf, n);
+        EXPECT_LE(w.lost_ldus, n);
+        EXPECT_LE(w.clf, w.lost_ldus);
+        // No double counting: a duplicated-and-delivered frame must never
+        // make losses negative or CLF exceed the pigeonhole band.
+        EXPECT_GE(w.clf, lower_bound_clf(n, w.lost_ldus));
+        EXPECT_GE(w.bound_used, 1u);
+        EXPECT_LE(r.playout_window_clf[k], n);
+    }
+}
+
+class FaultSweep : public ::testing::TestWithParam<Mix> {};
+
+TEST_P(FaultSweep, SixtyFourSeedsSurviveEveryMix) {
+    const Mix mix = GetParam();
+    for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+        const SessionConfig cfg = mixed_config(mix, seed);
+        const SessionResult r = run_session(cfg);
+        check_invariants(cfg, r);
+        if (HasFailure()) {
+            FAIL() << "mix=" << mix_name(mix) << " seed=" << seed;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Mixes, FaultSweep,
+                         ::testing::Values(Mix::kReorder, Mix::kDuplicate,
+                                           Mix::kCorrupt, Mix::kJitter,
+                                           Mix::kKitchenSink),
+                         [](const auto& info) {
+                             std::string out;
+                             for (const char c :
+                                  std::string(mix_name(info.param))) {
+                                 if (c != '-') out.push_back(c);
+                             }
+                             return out;
+                         });
+
+TEST(SessionFaults, ImpairedRunsAreDeterministicPerSeed) {
+    for (std::uint64_t seed : {3u, 17u, 41u}) {
+        const SessionConfig cfg = mixed_config(Mix::kKitchenSink, seed);
+        const SessionResult a = run_session(cfg);
+        const SessionResult b = run_session(cfg);
+        ASSERT_EQ(a.windows.size(), b.windows.size());
+        for (std::size_t k = 0; k < a.windows.size(); ++k) {
+            ASSERT_EQ(a.windows[k].clf, b.windows[k].clf);
+            ASSERT_EQ(a.windows[k].lost_ldus, b.windows[k].lost_ldus);
+            ASSERT_EQ(a.windows[k].retransmissions, b.windows[k].retransmissions);
+        }
+        ASSERT_EQ(a.data_channel.duplicated, b.data_channel.duplicated);
+        ASSERT_EQ(a.data_channel.corrupt_rejected,
+                  b.data_channel.corrupt_rejected);
+        ASSERT_EQ(a.data_channel.reordered, b.data_channel.reordered);
+    }
+}
+
+TEST(SessionFaults, AckBlackoutStallsAdaptationButNotTheStream) {
+    SessionConfig cfg = base_config(5);
+    cfg.blackout_feedback_windows(3, 5);
+    const SessionResult r = run_session(cfg);
+    check_invariants(cfg, r);
+    // Exactly the ACKs of windows 3-5 are scripted drops on the feedback
+    // path (the feedback channel carries nothing else).
+    EXPECT_EQ(r.feedback_channel.forced_dropped, 3u);
+    EXPECT_LE(r.acks_applied, r.acks_sent - 3);
+}
+
+TEST(SessionFaults, ImpairmentCountersSurfaceInMetrics) {
+    SessionConfig cfg = mixed_config(Mix::kKitchenSink, 9);
+    cfg.collect_metrics = true;
+    const SessionResult r = run_session(cfg);
+    const auto& m = r.metrics;
+    EXPECT_EQ(m.counter("data_packets_duplicated"), r.data_channel.duplicated);
+    EXPECT_EQ(m.counter("data_packets_corrupt_rejected"),
+              r.data_channel.corrupt_rejected);
+    EXPECT_EQ(m.counter("data_packets_reordered"), r.data_channel.reordered);
+    EXPECT_EQ(m.counter("data_packets_forced_dropped"),
+              r.data_channel.forced_dropped);
+    EXPECT_GT(m.counter("data_packets_duplicated") +
+                  m.counter("data_packets_corrupt_rejected") +
+                  m.counter("data_packets_reordered"),
+              0u);
+
+    // Zero-cost-off: an unimpaired session's registry must NOT grow the
+    // impairment keys (byte-identity of pre-fault metric output).
+    SessionConfig clean = base_config(9);
+    clean.collect_metrics = true;
+    const SessionResult rc = run_session(clean);
+    EXPECT_EQ(rc.metrics.counters().count("data_packets_duplicated"), 0u);
+    EXPECT_EQ(rc.metrics.counters().count("recv_duplicates_dropped"), 0u);
+}
+
+/// Registries compare equal key-by-key, bin-by-bin — the "byte-identical"
+/// criterion without going through a file.
+void expect_registries_identical(const espread::obs::MetricsRegistry& a,
+                                 const espread::obs::MetricsRegistry& b) {
+    EXPECT_EQ(a.counters(), b.counters());
+    ASSERT_EQ(a.histograms().size(), b.histograms().size());
+    auto ita = a.histograms().begin();
+    auto itb = b.histograms().begin();
+    for (; ita != a.histograms().end(); ++ita, ++itb) {
+        EXPECT_EQ(ita->first, itb->first);
+        EXPECT_EQ(ita->second.bins(), itb->second.bins());
+        EXPECT_EQ(ita->second.total(), itb->second.total());
+    }
+}
+
+TEST(SessionFaults, MonteCarloMetricsByteIdenticalAcrossThreadCounts) {
+    SessionConfig cfg = mixed_config(Mix::kKitchenSink, 123);
+    cfg.collect_metrics = true;
+    cfg.num_windows = 6;
+
+    const MonteCarloRunner one{RunnerOptions{/*trials=*/12, /*threads=*/1}};
+    const MonteCarloRunner four{RunnerOptions{/*trials=*/12, /*threads=*/4}};
+    const TrialSummary s1 = one.run(cfg);
+    const TrialSummary s4 = four.run(cfg);
+
+    EXPECT_EQ(s1.window_clf.count(), s4.window_clf.count());
+    EXPECT_EQ(s1.window_clf.mean(), s4.window_clf.mean());
+    EXPECT_EQ(s1.window_clf.deviation(), s4.window_clf.deviation());
+    EXPECT_EQ(s1.alf.mean(), s4.alf.mean());
+    EXPECT_EQ(s1.clf_histogram.bins(), s4.clf_histogram.bins());
+    expect_registries_identical(s1.metrics, s4.metrics);
+}
+
+}  // namespace
