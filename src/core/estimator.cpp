@@ -29,6 +29,30 @@ void BurstEstimator::update(std::size_t observed_max_burst) {
     if (observer_) observer_(clamped, old_estimate, estimate_);
 }
 
+std::size_t BurstEstimator::guarded_update(std::size_t observed_max_burst,
+                                           std::size_t max_step) {
+    const std::size_t b = bound();
+    const std::size_t lo = b > max_step ? b - max_step : 0;
+    const std::size_t hi = b + max_step;  // update() re-clamps to the window
+    const std::size_t guarded =
+        std::clamp(std::min(observed_max_burst, window_), lo, hi);
+    // The estimate moves between its old value and the guarded observation,
+    // both of which map to bounds within max_step of b, so bound() cannot
+    // move further than that in one step.
+    update(guarded);
+    return guarded;
+}
+
+void BurstEstimator::reset_to_prior() noexcept {
+    estimate_ = static_cast<double>(window_) / 2.0;
+}
+
+void BurstEstimator::decay_toward_prior(double keep) noexcept {
+    const double k = std::clamp(keep, 0.0, 1.0);
+    const double prior = static_cast<double>(window_) / 2.0;
+    estimate_ = prior + k * (estimate_ - prior);
+}
+
 SlidingMaxEstimator::SlidingMaxEstimator(std::size_t window, std::size_t history)
     : window_(window), history_(history) {
     if (window == 0) {

@@ -30,6 +30,10 @@ class BurstEstimator {
 public:
     /// `window` is the LDU window size n (bounds the estimate);
     /// `alpha` is the exponential-averaging weight of the newest sample.
+    /// The endpoints are exact, not merely limits: alpha == 0 freezes the
+    /// estimate at the prior window / 2 forever (observations are counted
+    /// but never move it), and alpha == 1 is pure tracking — the estimate
+    /// equals the latest clamped observation with no memory of the past.
     /// Throws std::invalid_argument for window == 0 or alpha outside [0, 1].
     explicit BurstEstimator(std::size_t window, double alpha = 0.5);
 
@@ -43,6 +47,29 @@ public:
     /// burst.  Values larger than the window are clamped.
     void update(std::size_t observed_max_burst);
 
+    /// Guarded Eq. 1 step: additionally clamps the observation into
+    /// [bound() - max_step, bound() + max_step] before updating, so one
+    /// spiked (or corrupted) observation can move bound() by at most
+    /// `max_step`.  max_step == 0 degenerates to a frozen bound; the
+    /// estimate still converges because later honest observations keep
+    /// pulling it within the widening clamp.  Returns the observation
+    /// actually applied (after both clamps).  Fires the observer like
+    /// update().
+    std::size_t guarded_update(std::size_t observed_max_burst,
+                               std::size_t max_step);
+
+    /// Resets the estimate to the no-feedback prior window / 2 (the
+    /// assumption the paper's server makes before any feedback arrives).
+    /// The observation count is preserved; no observer callback fires.
+    void reset_to_prior() noexcept;
+
+    /// Moves the estimate toward the prior, retaining `keep` of its current
+    /// distance: estimate = prior + keep * (estimate - prior).  `keep` is
+    /// clamped to [0, 1]; keep == 1 is a no-op, keep == 0 equals
+    /// reset_to_prior().  Applied once per missed feedback window this
+    /// yields an exponential approach to the prior.  No observer callback.
+    void decay_toward_prior(double keep) noexcept;
+
     /// Registers an observer of Eq. 1 steps (empty function detaches).
     void set_observer(UpdateObserver observer) { observer_ = std::move(observer); }
 
@@ -55,7 +82,10 @@ public:
 
     /// The bound a given real-valued estimate maps to (the ceil-and-clamp
     /// rule bound() applies), exposed so observers can translate estimate
-    /// transitions into bound transitions.
+    /// transitions into bound transitions.  Clamping is total: any
+    /// estimate <= 0 (including large negatives) maps to 1, and any
+    /// estimate > window maps to window, so callers may feed raw
+    /// arithmetic results without range checks.
     static std::size_t bound_for(double estimate, std::size_t window) noexcept;
 
     std::size_t window() const noexcept { return window_; }

@@ -25,6 +25,9 @@ const char* event_name(EventType t) noexcept {
         case EventType::kReordered: return "Reordered";
         case EventType::kDupDropped: return "DupDropped";
         case EventType::kStaleDropped: return "StaleDropped";
+        case EventType::kGovernorState: return "GovernorState";
+        case EventType::kGovernorAckReject: return "GovernorAckReject";
+        case EventType::kGovernorClamp: return "GovernorClamp";
     }
     return "Unknown";
 }

@@ -47,6 +47,9 @@ enum class EventType {
     kReordered,         ///< channel: seq = channel packet #, arg = extra delay (ns)
     kDupDropped,        ///< client: duplicate fragment discarded, arg = frame index
     kStaleDropped,      ///< client: packet for a finalized window discarded, arg = frame index
+    kGovernorState,     ///< server: arg = new proto::GovernorState, v0 = old state, v1 = consecutive missed feedback windows
+    kGovernorAckReject, ///< server: seq = ACK seq, arg = proto::AckRejectReason, v0 = ACK's window
+    kGovernorClamp,     ///< server: arg = raw observation, v0 = clamped observation, v1 = bound before the update
 };
 
 /// Which simulated component emitted the event (one trace track each).

@@ -101,6 +101,21 @@ void SessionConfig::validate() const {
     if (estimator == EstimatorKind::kSlidingMax && sliding_history == 0) {
         throw std::invalid_argument("SessionConfig: sliding_history must be >= 1");
     }
+    if (governor.enabled) {
+        governor.validate();
+        if (!adaptive) {
+            throw std::invalid_argument(
+                "SessionConfig: governor requires adaptive feedback");
+        }
+        if (pinned_bound != 0) {
+            throw std::invalid_argument(
+                "SessionConfig: governor is incompatible with pinned_bound");
+        }
+        if (estimator != EstimatorKind::kEwma) {
+            throw std::invalid_argument(
+                "SessionConfig: governor supervises the EWMA estimator only");
+        }
+    }
     data_impairment.validate();
     feedback_impairment.validate();
 }

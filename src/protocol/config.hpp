@@ -11,6 +11,7 @@
 #include "net/fault.hpp"
 #include "net/fragment.hpp"
 #include "net/gilbert.hpp"
+#include "protocol/governor.hpp"
 
 namespace espread::obs {
 class TraceSink;
@@ -100,6 +101,15 @@ struct SessionConfig {
     double alpha = 0.5;               ///< Eq. 1 averaging weight
     EstimatorKind estimator = EstimatorKind::kEwma;
     std::size_t sliding_history = 4;  ///< observations kept by kSlidingMax
+    /// Adaptation governor supervising the EWMA estimator (see
+    /// protocol/governor.hpp): watchdog over missed feedback deadlines,
+    /// window-sequenced ACK admission, outlier guard + hysteresis on
+    /// estimator updates, fallback to the no-feedback prior b = n/2 under
+    /// sustained outage and a staged recovery afterwards.  Disabled by
+    /// default; a disabled governor keeps the session byte-identical to an
+    /// ungoverned one.  Requires adaptive == true, pinned_bound == 0 and
+    /// estimator == EstimatorKind::kEwma when enabled.
+    GovernorConfig governor;
     DropPolicy drop_policy = DropPolicy::kReactive;
     /// Fraction of the window's bit budget kPredictive keeps back for
     /// retransmissions; in [0, 1).

@@ -75,6 +75,19 @@ std::string summarize(const SessionResult& result) {
         << sim::format_fixed(static_cast<double>(result.required_startup) / 1e6,
                              1)
         << " ms";
+    // Governor accounting appears only for governed sessions, keeping
+    // ungoverned summaries byte-identical to pre-governor builds.
+    const GovernorReport& g = result.governor;
+    const std::size_t governed_windows =
+        g.windows_in_state[0] + g.windows_in_state[1] + g.windows_in_state[2] +
+        g.windows_in_state[3];
+    if (governed_windows > 0) {
+        out << "; governor N/D/F/R " << g.windows_in_state[0] << "/"
+            << g.windows_in_state[1] << "/" << g.windows_in_state[2] << "/"
+            << g.windows_in_state[3] << ", ACKs rejected " << g.acks_rejected()
+            << ", clamped " << g.observations_clamped << ", fallbacks "
+            << g.fallbacks;
+    }
     return out.str();
 }
 

@@ -13,6 +13,7 @@
 #include "net/fault.hpp"
 #include "net/fragment.hpp"
 #include "protocol/codec.hpp"
+#include "protocol/governor.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 
@@ -125,6 +126,11 @@ struct Session::Impl {
                                      [flips](const Feedback& f, sim::Rng& r) {
                                          return corrupt_feedback(f, r, flips);
                                      });
+        }
+
+        if (cfg.governor.enabled) {
+            governor.emplace(cfg.governor, estimator);
+            if (cfg.trace != nullptr) governor->set_trace(cfg.trace);
         }
 
         receiver.set_window_limit(cfg.num_windows);
@@ -375,8 +381,15 @@ struct Session::Impl {
         const std::size_t adaptive_bound = cfg.estimator == EstimatorKind::kEwma
                                                ? estimator.bound()
                                                : sliding.bound();
+        if (governor.has_value() && k + 1 == cfg.num_windows) {
+            // The final window's ACK arrives after the window-start clock
+            // stops; without this it would be misread as a future forgery.
+            governor->close_stream();
+        }
         const std::size_t bound =
-            cfg.pinned_bound != 0
+            governor.has_value()
+                ? governor->on_window_start(k, queue.now())
+            : cfg.pinned_bound != 0
                 ? std::min(cfg.pinned_bound,
                            std::max<std::size_t>(planner.noncritical_size(), 1))
                 : adaptive_bound;
@@ -387,6 +400,7 @@ struct Session::Impl {
         WindowReport& rep = reports[k];
         rep.window = k;
         rep.bound_used = bound;
+        if (governor.has_value()) rep.governor_state = governor->state();
 
         std::vector<std::size_t> layer_sent(plan.layer_sizes.size(), 0);
         std::vector<bool> sent_local(n, false);
@@ -570,6 +584,14 @@ struct Session::Impl {
                         queue.now(), f.window, f.seq);
             return;
         }
+        // Window-sequence admission (governor only): duplicates, stragglers
+        // older than the last accepted report and implausible future
+        // windows are refused before they can advance the ACK horizon or
+        // touch the estimator.
+        if (governor.has_value() &&
+            governor->admit_ack(f.window, f.seq, queue.now()).has_value()) {
+            return;
+        }
         last_ack_seq = f.seq;
         ++acks_applied;
         feedback_window_ = f.window;
@@ -592,7 +614,12 @@ struct Session::Impl {
                 observed, std::max<std::size_t>(planner.noncritical_size(), 1));
         }
         const std::size_t old_sliding_bound = sliding.bound();
-        estimator.update(observed);  // fires the EWMA trace observer
+        if (governor.has_value()) {
+            // Outlier-guarded Eq. 1 step (still fires the trace observer).
+            governor->on_observation(observed, queue.now());
+        } else {
+            estimator.update(observed);  // fires the EWMA trace observer
+        }
         sliding.update(observed);
         if (cfg.estimator == EstimatorKind::kSlidingMax) {
             trace_estimator_update(std::min(observed, sliding.window()),
@@ -617,6 +644,7 @@ struct Session::Impl {
         result.feedback_channel = feedback.stats();
         result.acks_sent = acks_sent;
         result.acks_applied = acks_applied;
+        if (governor.has_value()) result.governor = governor->report();
 
         // Playout-judged continuity over the whole stream.
         const std::size_t n = planner.window_ldus();
@@ -708,6 +736,38 @@ struct Session::Impl {
             m.add_counter("recv_mismatch_dropped",
                           receiver.mismatch_dropped());
         }
+
+        // Governor accounting appears only when the governor is enabled,
+        // for the same reason: ungoverned registries must stay
+        // byte-identical to pre-governor builds.
+        if (governor.has_value()) {
+            const GovernorReport& g = governor->report();
+            m.add_counter("governor_windows_normal", g.windows_in_state[0]);
+            m.add_counter("governor_windows_degraded", g.windows_in_state[1]);
+            m.add_counter("governor_windows_fallback", g.windows_in_state[2]);
+            m.add_counter("governor_windows_recovering",
+                          g.windows_in_state[3]);
+            m.add_counter("governor_acks_rejected", g.acks_rejected());
+            m.add_counter("governor_acks_rejected_duplicate",
+                          g.acks_rejected_duplicate);
+            m.add_counter("governor_acks_rejected_stale",
+                          g.acks_rejected_stale);
+            m.add_counter("governor_acks_rejected_future",
+                          g.acks_rejected_future);
+            m.add_counter("governor_observations_clamped",
+                          g.observations_clamped);
+            m.add_counter("governor_fallbacks", g.fallbacks);
+            m.add_counter("governor_recoveries", g.recoveries);
+            m.add_counter("governor_transitions", g.transitions);
+            // Per-window governed bound and supervision state; bound_used
+            // in the per-window reports carries the same bound per window.
+            sim::Histogram& governed = m.histogram("governor_bound");
+            sim::Histogram& states = m.histogram("governor_state");
+            for (const WindowReport& w : result.windows) {
+                governed.add(static_cast<std::int64_t>(w.bound_used));
+                states.add(static_cast<std::int64_t>(w.governor_state));
+            }
+        }
     }
 
     SessionConfig cfg;
@@ -717,6 +777,7 @@ struct Session::Impl {
     Receiver receiver;
     espread::BurstEstimator estimator;
     espread::SlidingMaxEstimator sliding;
+    std::optional<AdaptationGovernor> governor;  ///< engaged iff cfg.governor.enabled
     net::FaultChannel<DataMsg> data;
     net::FaultChannel<Feedback> feedback;
     PlayoutClock playout;

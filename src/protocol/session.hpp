@@ -51,6 +51,8 @@ struct WindowReport {
     std::size_t retransmissions = 0;  ///< packets resent for critical frames
     std::size_t actual_packet_burst = 0;  ///< max consecutive lost data packets
     std::size_t bound_used = 0;       ///< non-critical b fed to the planner
+    /// Supervision state the window ran under (kNormal when no governor).
+    GovernorState governor_state = GovernorState::kNormal;
 };
 
 /// Whole-session results.
@@ -75,6 +77,11 @@ struct SessionResult {
 
     /// Named counters/histograms; empty unless SessionConfig::collect_metrics.
     obs::MetricsRegistry metrics;
+
+    /// Adaptation-governor accounting (time in state, rejected ACKs,
+    /// clamped observations, fallback/recovery counts).  All zeros when the
+    /// governor is disabled.
+    GovernorReport governor;
 
     /// Mean / deviation of per-window CLF (the paper's headline numbers).
     sim::RunningStats clf_stats() const;

@@ -38,15 +38,18 @@ void RunningStats::merge(const RunningStats& other) noexcept {
 }
 
 double RunningStats::variance() const noexcept {
+    // n == 0 and n == 1 have no spread by definition; catastrophic
+    // cancellation in add()/merge() can also leave m2_ a hair below zero,
+    // which must read as 0 variance, never a NaN deviation.
     if (count_ < 2) return 0.0;
-    return m2_ / static_cast<double>(count_);
+    return std::max(m2_, 0.0) / static_cast<double>(count_);
 }
 
 double RunningStats::deviation() const noexcept { return std::sqrt(variance()); }
 
 double RunningStats::sample_variance() const noexcept {
     if (count_ < 2) return 0.0;
-    return m2_ / static_cast<double>(count_ - 1);
+    return std::max(m2_, 0.0) / static_cast<double>(count_ - 1);
 }
 
 void TimeSeries::add(double x, double y) {

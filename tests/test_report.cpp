@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -91,6 +92,26 @@ TEST(Report, SummaryMentionsKeyStatistics) {
     EXPECT_NE(s.find("ACKs applied"), std::string::npos);
     EXPECT_NE(s.find("required startup"), std::string::npos);
     EXPECT_NE(s.find(" ms"), std::string::npos);
+}
+
+TEST(Report, OneWindowSummaryHasZeroDeviationNotNaN) {
+    // A 1-window session exercises the n == 1 Welford edge everywhere the
+    // report aggregates: the deviation must render as exactly 0.00.
+    SessionConfig cfg;
+    cfg.num_windows = 1;
+    cfg.seed = 3;
+    const SessionResult r = run_session(cfg);
+    ASSERT_EQ(r.windows.size(), 1u);
+    const espread::sim::RunningStats s = r.clf_stats();
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.deviation(), 0.0);
+    EXPECT_FALSE(std::isnan(r.playout_clf_stats().deviation()));
+    const std::string text = summarize(r);
+    EXPECT_NE(text.find("1 windows"), std::string::npos);
+    EXPECT_NE(text.find("dev 0.00"), std::string::npos);
+    EXPECT_EQ(text.find("nan"), std::string::npos);
+    EXPECT_EQ(text.find("governor"), std::string::npos)
+        << "ungoverned summaries must not mention the governor";
 }
 
 TEST(Report, EventCsvSortsByTimeWithOneRowPerEvent) {

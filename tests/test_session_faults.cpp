@@ -240,4 +240,77 @@ TEST(SessionFaults, MonteCarloMetricsByteIdenticalAcrossThreadCounts) {
     expect_registries_identical(s1.metrics, s4.metrics);
 }
 
+// ---- Governed sessions under fault injection ------------------------------
+
+/// ACK blackout + header corruption on both channels with the adaptation
+/// governor supervising the estimator: the mix that exercises every
+/// admission branch (lost feedback deadlines, corrupted-but-plausible ACK
+/// windows) at once.
+SessionConfig governed_mixed_config(std::uint64_t seed) {
+    SessionConfig cfg = base_config(seed);
+    cfg.data_impairment.corrupt_rate = 0.2;
+    cfg.feedback_impairment.corrupt_rate = 0.2;
+    cfg.blackout_feedback_windows(3, 5);
+    cfg.governor.enabled = true;
+    cfg.governor.miss_budget = 1;  // short sessions must still reach Fallback
+    cfg.governor.recovery_windows = 2;
+    return cfg;
+}
+
+void check_governor_invariants(const SessionConfig& cfg,
+                               const SessionResult& r) {
+    // Time-in-state accounting must cover every window exactly once, and
+    // the per-window states must agree with the aggregate counters.
+    std::size_t per_window[4] = {0, 0, 0, 0};
+    for (const auto& w : r.windows) {
+        ASSERT_LT(static_cast<std::size_t>(w.governor_state), 4u);
+        ++per_window[static_cast<std::size_t>(w.governor_state)];
+    }
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < 4; ++s) {
+        EXPECT_EQ(r.governor.windows_in_state[s], per_window[s]) << "state " << s;
+        total += r.governor.windows_in_state[s];
+    }
+    EXPECT_EQ(total, cfg.num_windows);
+    EXPECT_GE(r.governor.recoveries + 1, r.governor.fallbacks)
+        << "every fallback but possibly the last must have recovered";
+    // Rejected ACKs never reach the estimator, so they are bounded by what
+    // the feedback channel delivered minus what the session applied.
+    EXPECT_LE(r.governor.acks_rejected() + r.acks_applied,
+              r.feedback_channel.delivered);
+}
+
+TEST(GovernedSessionFaults, SixtyFourSeedsSurviveBlackoutPlusCorruption) {
+    for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+        const SessionConfig cfg = governed_mixed_config(seed);
+        const SessionResult r = run_session(cfg);
+        check_invariants(cfg, r);
+        check_governor_invariants(cfg, r);
+        // The 3-window ACK blackout exceeds miss budget 1 on every seed.
+        EXPECT_GE(r.governor.fallbacks, 1u) << "seed " << seed;
+        if (HasFailure()) {
+            FAIL() << "governed seed=" << seed;
+        }
+    }
+}
+
+TEST(GovernedSessionFaults, MetricsByteIdenticalAcrossThreadCounts) {
+    SessionConfig cfg = governed_mixed_config(123);
+    cfg.collect_metrics = true;
+
+    const MonteCarloRunner one{RunnerOptions{/*trials=*/12, /*threads=*/1}};
+    const MonteCarloRunner four{RunnerOptions{/*trials=*/12, /*threads=*/4}};
+    const TrialSummary s1 = one.run(cfg);
+    const TrialSummary s4 = four.run(cfg);
+
+    EXPECT_EQ(s1.window_clf.count(), s4.window_clf.count());
+    EXPECT_EQ(s1.window_clf.mean(), s4.window_clf.mean());
+    EXPECT_EQ(s1.clf_histogram.bins(), s4.clf_histogram.bins());
+    expect_registries_identical(s1.metrics, s4.metrics);
+    // The governed registry actually carries the governor keys (the merge
+    // is exercised on them, not on an empty set).
+    EXPECT_GT(s1.metrics.counter("governor_fallbacks"), 0u);
+    EXPECT_NE(s1.metrics.find_histogram("governor_state"), nullptr);
+}
+
 }  // namespace

@@ -71,6 +71,60 @@ TEST(RunningStats, MergeWithEmpty) {
     EXPECT_DOUBLE_EQ(c.mean(), 1.5);
 }
 
+// n == 0 and n == 1 have no spread by definition: deviation must read as
+// exactly 0 — never NaN from a 0/0 or sqrt of a negative Welford residue.
+TEST(RunningStats, DeviationOfEmptyAndSingleIsZeroNotNaN) {
+    RunningStats s;
+    EXPECT_DOUBLE_EQ(s.deviation(), 0.0);
+    EXPECT_DOUBLE_EQ(s.sample_variance(), 0.0);  // n - 1 == -1 must not divide
+    EXPECT_FALSE(std::isnan(s.deviation()));
+    s.add(41.5);
+    EXPECT_DOUBLE_EQ(s.deviation(), 0.0);
+    EXPECT_DOUBLE_EQ(s.sample_variance(), 0.0);  // n - 1 == 0 must not divide
+    EXPECT_FALSE(std::isnan(s.deviation()));
+}
+
+TEST(RunningStats, MergeOfTwoSingleSamples) {
+    RunningStats a;
+    a.add(3.0);
+    RunningStats b;
+    b.add(5.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 1.0);
+    EXPECT_DOUBLE_EQ(a.sample_variance(), 2.0);
+    EXPECT_DOUBLE_EQ(a.deviation(), 1.0);
+}
+
+TEST(RunningStats, ManyEqualSingleSampleMergesStayExact) {
+    // The degenerate shape the Monte-Carlo runner produces for a 1-window
+    // session: per-trial stats with one sample each, merged in trial order.
+    // All samples equal => spread exactly 0 at every step, never NaN.
+    RunningStats acc;
+    for (int i = 0; i < 100; ++i) {
+        RunningStats one;
+        one.add(7.25);
+        acc.merge(one);
+        ASSERT_DOUBLE_EQ(acc.variance(), 0.0) << "merge " << i;
+        ASSERT_FALSE(std::isnan(acc.deviation()));
+    }
+    EXPECT_EQ(acc.count(), 100u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 7.25);
+    EXPECT_DOUBLE_EQ(acc.deviation(), 0.0);
+}
+
+TEST(RunningStats, CancellationResidueNeverGoesNegative) {
+    // Offsetting tiny spread by a huge mean is the classic catastrophic-
+    // cancellation trap: m2 can numerically land a hair below zero, which
+    // must surface as variance 0, not sqrt(-eps) = NaN.
+    RunningStats s;
+    for (int i = 0; i < 64; ++i) s.add(1e15 + 0.1);
+    EXPECT_GE(s.variance(), 0.0);
+    EXPECT_GE(s.sample_variance(), 0.0);
+    EXPECT_FALSE(std::isnan(s.deviation()));
+}
+
 TEST(TimeSeries, PreservesOrderAndStats) {
     TimeSeries ts;
     ts.add(0, 2.0);
