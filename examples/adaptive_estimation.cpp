@@ -69,7 +69,23 @@ public:
                             espread::proto::ack_reject_name(
                                 static_cast<espread::proto::AckRejectReason>(e.arg)));
                 break;
-            default:
+            // The non-governor events are deliberately silent here, but
+            // each is named so a new EventType forces a decision.
+            case EventType::kPacketSent:
+            case EventType::kPacketLost:
+            case EventType::kRetransmit:
+            case EventType::kFrameDeadlineDrop:
+            case EventType::kAckSent:
+            case EventType::kAckApplied:
+            case EventType::kAckStale:
+            case EventType::kEstimatorUpdate:
+            case EventType::kWindowFinalized:
+            case EventType::kPlayoutMiss:
+            case EventType::kFrameComplete:
+            case EventType::kCorruptRejected:
+            case EventType::kReordered:
+            case EventType::kDupDropped:
+            case EventType::kStaleDropped:
                 break;
         }
     }

@@ -36,7 +36,8 @@ int main() {
         std::printf("%8zu |", b);
         for (std::size_t k = 1; k <= 3; ++k) {
             const std::size_t n = espread::window_for_clf(b, k);
-            std::printf(" %2zu (%3.0fms) |", n, n * 1000.0 / AudioLdu::ldu_rate());
+            std::printf(" %2zu (%3.0fms) |", n,
+                        static_cast<double>(n) * 1000.0 / AudioLdu::ldu_rate());
         }
         std::printf("\n");
     }

@@ -157,6 +157,7 @@ std::optional<WireType> peek_type(const std::vector<std::uint8_t>& bytes) {
         case static_cast<std::uint8_t>(WireType::kData): return WireType::kData;
         case static_cast<std::uint8_t>(WireType::kTrailer): return WireType::kTrailer;
         case static_cast<std::uint8_t>(WireType::kFeedback): return WireType::kFeedback;
+        // espread-lint: allow(D3) wire bytes are untrusted input: an unknown tag must decode to nullopt, not assert
         default: return std::nullopt;
     }
 }

@@ -1,0 +1,28 @@
+// Fixture: a file the linter must pass untouched — exercises the
+// comment/string stripper (rule trigger tokens appear only inside
+// comments and literals) and the `= delete` exemption.
+#include <cstddef>
+#include <string>
+
+namespace espread {
+
+// std::random_device in a comment must not fire D1; neither must the
+// word default: here, nor new/delete in prose.
+class Holder {
+public:
+    Holder() = default;
+    Holder(const Holder&) = delete;
+    Holder& operator=(const Holder&) = delete;
+
+    std::string describe() const {
+        // Literals are stripped too:
+        return "uses std::random_device and time(nullptr) and new Frame";
+    }
+
+    std::size_t renewals() const { return renew_count_; }  // 'new' inside identifiers
+
+private:
+    std::size_t renew_count_ = 0;
+};
+
+}  // namespace espread

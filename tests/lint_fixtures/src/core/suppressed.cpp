@@ -1,0 +1,23 @@
+// Fixture: valid suppressions — every seeded violation carries an allow
+// comment with a reason, so the file must lint clean.  Both placement
+// forms are exercised: trailing comment and comment-only line.
+#include <ctime>
+
+namespace espread {
+
+long stamp_log_header() {
+    return time(nullptr);  // espread-lint: allow(D1) log header timestamp, never reaches a seed
+}
+
+enum class Mode { kA, kB };
+
+int mode_rank(Mode m, int other) {
+    switch (m) {
+        case Mode::kA: return 1;
+        case Mode::kB: return 2;
+    }
+    // espread-lint: allow(D1) demonstrates the next-line placement form
+    return other + static_cast<int>(time(nullptr) % 1);
+}
+
+}  // namespace espread

@@ -1,0 +1,12 @@
+// Fixture: a suppression with no reason string.  The suppression must not
+// take effect (the underlying D1 still fires) and the comment itself is
+// flagged as D0.  Line numbers are asserted exactly by test_lint.cpp.
+#include <ctime>
+
+namespace espread {
+
+long lazy_seed() {
+    return time(nullptr);  // espread-lint: allow(D1)
+}
+
+}  // namespace espread

@@ -1,0 +1,17 @@
+// Fixture: D2 — hash-ordered container in result-producing code
+// (src/exp/ is an ordered-output path, so the mirrored location triggers
+// the rule).  Line numbers are asserted exactly by test_lint.cpp.
+#include <string>
+#include <unordered_map>
+
+namespace espread::exp {
+
+double merge_means(const std::unordered_map<std::string, double>& m) {  // line 9: D2
+    double sum = 0.0;
+    for (const auto& [key, value] : m) {
+        sum += value;  // iteration order leaks into any serialized output
+    }
+    return sum;
+}
+
+}  // namespace espread::exp

@@ -1,0 +1,20 @@
+// Fixture: D5 — ownership / include hygiene in a library target (src/).
+// Line numbers are asserted exactly by test_lint.cpp.
+#include <iostream>  // line 3: D5 — iostream in a library target
+
+namespace espread::media {
+
+struct Frame {
+    unsigned bits = 0;
+};
+
+Frame* make_frame() {
+    return new Frame{};  // line 12: D5 — raw new
+}
+
+void drop_frame(Frame* f) {
+    delete f;  // line 16: D5 — raw delete
+    std::cout << "dropped\n";
+}
+
+}  // namespace espread::media

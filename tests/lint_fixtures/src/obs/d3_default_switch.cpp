@@ -1,0 +1,17 @@
+// Fixture: D3 — `default:` label in a switch over a contract enum
+// (EventType is in the contract list).  Line numbers are asserted exactly
+// by test_lint.cpp.
+
+namespace espread::obs {
+
+enum class EventType { kPacketSent, kPacketLost, kAckSent };
+
+const char* short_name(EventType t) {
+    switch (t) {
+        case EventType::kPacketSent: return "sent";
+        case EventType::kPacketLost: return "lost";
+        default: return "?";  // line 13: D3 — swallows new enumerators
+    }
+}
+
+}  // namespace espread::obs

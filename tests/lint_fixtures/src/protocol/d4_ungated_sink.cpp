@@ -1,0 +1,23 @@
+// Fixture: D4 — direct trace-sink call without a null-gate on the same
+// pointer.  The second function shows the gated form the rule accepts.
+// Line numbers are asserted exactly by test_lint.cpp.
+
+namespace espread::obs {
+struct TraceEvent {};
+struct TraceSink {
+    virtual void record(const TraceEvent&) = 0;
+};
+}  // namespace espread::obs
+
+namespace espread::proto {
+
+void emit_ungated(obs::TraceSink* trace, const obs::TraceEvent& e) {
+    trace->record(e);  // line 15: D4 — no gate, sink may be null
+}
+
+void emit_gated(obs::TraceSink* trace, const obs::TraceEvent& e) {
+    if (trace == nullptr) return;
+    trace->record(e);  // gated: clean
+}
+
+}  // namespace espread::proto

@@ -1,0 +1,179 @@
+// espread_lint's own test suite.
+//
+// Fixture files under tests/lint_fixtures/ mirror the repo layout (the
+// path-scoped rules D2/D5 key off src/exp, src/ prefixes) and carry one
+// seeded violation per rule plus clean and suppressed variants; assertions
+// pin exact rule ids and line numbers.  The suite also lints the real
+// source tree under the shipped allowlist and requires zero findings —
+// the same gate CI applies — so a contract violation anywhere in
+// src/bench/tests/examples fails tier-1 locally, not just in CI.
+#include "lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using espread::lint::Diagnostic;
+using espread::lint::LintConfig;
+using espread::lint::Severity;
+
+// Fixture scans run without the repo allowlist: the allowlist's job on the
+// real tree is precisely to mute these files.
+LintConfig bare_config() { return espread::lint::default_config(); }
+
+std::vector<Diagnostic> lint_fixture(const std::string& rel) {
+    return espread::lint::lint_file(
+        std::string(ESPREAD_LINT_FIXTURES) + "/" + rel, rel, bare_config());
+}
+
+/// (rule, line) pairs, for order-insensitive exact-set comparison.
+std::vector<std::pair<std::string, std::size_t>> keys(
+    const std::vector<Diagnostic>& diags) {
+    std::vector<std::pair<std::string, std::size_t>> out;
+    out.reserve(diags.size());
+    for (const Diagnostic& d : diags) out.emplace_back(d.rule, d.line);
+    return out;
+}
+
+using Keys = std::vector<std::pair<std::string, std::size_t>>;
+
+TEST(LintRules, TableListsD0ThroughD5) {
+    const auto& rules = espread::lint::rules();
+    ASSERT_EQ(rules.size(), 6u);
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        EXPECT_EQ(rules[i].id, "D" + std::to_string(i));
+        EXPECT_TRUE(espread::lint::known_rule(rules[i].id));
+    }
+    EXPECT_FALSE(espread::lint::known_rule("D9"));
+    EXPECT_FALSE(espread::lint::known_rule(""));
+}
+
+TEST(LintFixtures, D1FlagsEntropySource) {
+    const auto diags = lint_fixture("src/core/d1_entropy.cpp");
+    ASSERT_EQ(keys(diags), (Keys{{"D1", 10}}));
+    EXPECT_EQ(diags[0].severity, Severity::kError);
+    EXPECT_NE(diags[0].message.find("random_device"), std::string::npos);
+}
+
+TEST(LintFixtures, D2FlagsHashContainersInOrderedOutputPath) {
+    const auto diags = lint_fixture("src/exp/d2_hash_merge.cpp");
+    EXPECT_EQ(keys(diags), (Keys{{"D2", 5}, {"D2", 9}}));
+}
+
+TEST(LintFixtures, D2IgnoresHashContainersOutsideOrderedOutputPaths) {
+    // The same content under src/core (not an ordered-output path) is fine.
+    const auto diags = espread::lint::lint_file(
+        std::string(ESPREAD_LINT_FIXTURES) + "/src/exp/d2_hash_merge.cpp",
+        "src/core/d2_hash_merge.cpp", bare_config());
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintFixtures, D3FlagsDefaultInContractEnumSwitch) {
+    const auto diags = lint_fixture("src/obs/d3_default_switch.cpp");
+    EXPECT_EQ(keys(diags), (Keys{{"D3", 13}}));
+}
+
+TEST(LintFixtures, D4FlagsUngatedSinkCallAcceptsGatedOne) {
+    const auto diags = lint_fixture("src/protocol/d4_ungated_sink.cpp");
+    EXPECT_EQ(keys(diags), (Keys{{"D4", 15}}));
+}
+
+TEST(LintFixtures, D5FlagsIostreamRawNewAndDelete) {
+    const auto diags = lint_fixture("src/media/d5_raw_new.cpp");
+    EXPECT_EQ(keys(diags), (Keys{{"D5", 3}, {"D5", 12}, {"D5", 16}}));
+}
+
+TEST(LintFixtures, CleanFileHasNoFindings) {
+    const auto diags = lint_fixture("src/core/clean.cpp");
+    EXPECT_TRUE(diags.empty()) << espread::lint::format_gcc(diags.front());
+}
+
+TEST(LintFixtures, ValidSuppressionsSilenceFindings) {
+    const auto diags = lint_fixture("src/core/suppressed.cpp");
+    EXPECT_TRUE(diags.empty()) << espread::lint::format_gcc(diags.front());
+}
+
+TEST(LintFixtures, SuppressionWithoutReasonIsFlaggedAndIneffective) {
+    const auto diags = lint_fixture("src/core/suppressed_no_reason.cpp");
+    EXPECT_EQ(keys(diags), (Keys{{"D0", 9}, {"D1", 9}}));
+}
+
+TEST(LintFixtures, TreeScanAggregatesAllSeededViolations) {
+    const auto diags = espread::lint::lint_tree(ESPREAD_LINT_FIXTURES,
+                                                {"src"}, bare_config());
+    // 1 (D1) + 2 (D2) + 1 (D3) + 1 (D4) + 3 (D5) + 2 (D0+D1 no-reason).
+    EXPECT_EQ(diags.size(), 10u);
+    // Deterministic order: sorted by path, then line.
+    for (std::size_t i = 1; i < diags.size(); ++i) {
+        EXPECT_LE(diags[i - 1].path, diags[i].path);
+    }
+}
+
+TEST(LintSuppressions, UnknownRuleIdInAllowIsMalformed) {
+    const auto diags = espread::lint::lint_source(
+        "src/core/x.cpp",
+        "// espread-lint: allow(D9) not a rule\nint x = 0;\n", bare_config());
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "D0");
+}
+
+TEST(LintSuppressions, SuppressionOnlyMutesNamedRules) {
+    // allow(D3) does not mute the D1 on the same line.
+    const auto diags = espread::lint::lint_source(
+        "src/core/x.cpp",
+        "#include <ctime>\n"
+        "long f() { return time(nullptr); }  "
+        "// espread-lint: allow(D3) wrong rule id for this site\n",
+        bare_config());
+    EXPECT_EQ(keys(diags), (Keys{{"D1", 2}}));
+}
+
+TEST(LintAllowlist, GlobMatchingCrossesDirectories) {
+    using espread::lint::glob_match;
+    EXPECT_TRUE(glob_match("src/sim/rng.*", "src/sim/rng.cpp"));
+    EXPECT_TRUE(glob_match("src/sim/rng.*", "src/sim/rng.hpp"));
+    EXPECT_FALSE(glob_match("src/sim/rng.*", "src/sim/stats.cpp"));
+    EXPECT_TRUE(glob_match("bench/*", "bench/bench_fig8_loss.cpp"));
+    EXPECT_TRUE(glob_match("tests/lint_fixtures/*",
+                           "tests/lint_fixtures/src/core/clean.cpp"));
+    EXPECT_FALSE(glob_match("tests/lint_fixtures/*", "tests/test_lint.cpp"));
+    EXPECT_TRUE(glob_match("*", "anything/at/all.hpp"));
+}
+
+TEST(LintAllowlist, EntriesExemptMatchingFilesFromTheNamedRule) {
+    LintConfig cfg = bare_config();
+    cfg.allowlist.push_back({"D1", "src/core/d1_*"});
+    const auto diags = espread::lint::lint_file(
+        std::string(ESPREAD_LINT_FIXTURES) + "/src/core/d1_entropy.cpp",
+        "src/core/d1_entropy.cpp", cfg);
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintFormat, GccStyleDiagnosticsAreClickable) {
+    const Diagnostic d{"src/exp/runner.cpp", 94, "D1", "bad", Severity::kError};
+    EXPECT_EQ(espread::lint::format_gcc(d),
+              "src/exp/runner.cpp:94: error: bad [D1]");
+}
+
+// The acceptance gate: the real tree lints clean under the shipped
+// allowlist — exactly the scan CI runs (espread_lint --root=<repo> src
+// bench tests examples).
+TEST(LintRepo, SourceTreeIsCleanUnderShippedAllowlist) {
+    LintConfig cfg = bare_config();
+    std::string err;
+    ASSERT_TRUE(espread::lint::load_allowlist_file(
+        std::string(ESPREAD_REPO_ROOT) + "/tools/espread_lint/allowlist.txt",
+        cfg, &err))
+        << err;
+    const auto diags = espread::lint::lint_tree(
+        ESPREAD_REPO_ROOT, {"src", "bench", "tests", "examples"}, cfg);
+    for (const Diagnostic& d : diags) {
+        ADD_FAILURE() << espread::lint::format_gcc(d);
+    }
+}
+
+}  // namespace

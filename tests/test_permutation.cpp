@@ -35,7 +35,7 @@ TEST(Permutation, RejectsOutOfRangeValues) {
 
 TEST(Permutation, AtThrowsOutOfRange) {
     const Permutation p = Permutation::identity(3);
-    EXPECT_THROW(p.at(3), std::out_of_range);
+    EXPECT_THROW(static_cast<void>(p.at(3)), std::out_of_range);
 }
 
 TEST(Permutation, InverseRoundTrips) {

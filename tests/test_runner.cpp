@@ -166,6 +166,46 @@ TEST(MonteCarloRunner, MergedMetricsAreBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(clf->total(), a.total_windows);
 }
 
+// D2 regression (drive-by audit of the obs/exp merge paths): a registry's
+// serialization must not depend on the order keys were inserted or
+// registries were merged in.  std::map keeps this true by construction; a
+// switch to a hash-ordered container would flip the key order here (and
+// is also flagged statically by espread_lint rule D2).
+TEST(MonteCarloRunner, MetricsSerializationIndependentOfInsertionAndMergeOrder) {
+    using espread::obs::MetricsRegistry;
+    const std::vector<std::string> names = {"zeta", "alpha", "mid", "beta10",
+                                            "beta2"};
+    MetricsRegistry fwd, rev;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        fwd.add_counter(names[i], i + 1);
+        fwd.histogram(names[i]).add(static_cast<std::int64_t>(i));
+    }
+    for (std::size_t i = names.size(); i-- > 0;) {
+        rev.add_counter(names[i], i + 1);
+        rev.histogram(names[i]).add(static_cast<std::int64_t>(i));
+    }
+
+    MetricsRegistry ab, ba;
+    ab.merge(fwd);
+    ab.merge(rev);
+    ba.merge(rev);
+    ba.merge(fwd);
+
+    JsonWriter ja, jb;
+    espread::obs::append_metrics(ja, ab);
+    espread::obs::append_metrics(jb, ba);
+    EXPECT_EQ(ja.str(), jb.str());
+
+    // Iteration (and therefore merge and serialization) order is the
+    // sorted key order, independent of insertion history.
+    std::string prev;
+    for (const auto& [key, value] : ab.counters()) {
+        EXPECT_LT(prev, key);
+        prev = key;
+    }
+    EXPECT_EQ(ab.counter("zeta"), 2u);  // delta 1 from each source registry
+}
+
 TEST(MonteCarloRunner, MetricsOmittedWhenNotCollected) {
     MonteCarloRunner runner(runner_opts(2, 1));
     const TrialSummary s = runner.run(small_config());

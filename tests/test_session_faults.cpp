@@ -26,6 +26,13 @@ using espread::net::ImpairmentConfig;
 using espread::proto::run_session;
 using espread::proto::SessionConfig;
 using espread::proto::SessionResult;
+
+RunnerOptions runner_opts(std::size_t trials, std::size_t threads) {
+    RunnerOptions o;
+    o.trials = trials;
+    o.threads = threads;
+    return o;
+}
 using espread::proto::StreamKind;
 
 /// Minimum possible max-consecutive-loss when `lost` of `n` slots are lost:
@@ -144,10 +151,10 @@ INSTANTIATE_TEST_SUITE_P(Mixes, FaultSweep,
                          ::testing::Values(Mix::kReorder, Mix::kDuplicate,
                                            Mix::kCorrupt, Mix::kJitter,
                                            Mix::kKitchenSink),
-                         [](const auto& info) {
+                         [](const auto& name_info) {
                              std::string out;
                              for (const char c :
-                                  std::string(mix_name(info.param))) {
+                                  std::string(mix_name(name_info.param))) {
                                  if (c != '-') out.push_back(c);
                              }
                              return out;
@@ -227,8 +234,8 @@ TEST(SessionFaults, MonteCarloMetricsByteIdenticalAcrossThreadCounts) {
     cfg.collect_metrics = true;
     cfg.num_windows = 6;
 
-    const MonteCarloRunner one{RunnerOptions{/*trials=*/12, /*threads=*/1}};
-    const MonteCarloRunner four{RunnerOptions{/*trials=*/12, /*threads=*/4}};
+    const MonteCarloRunner one{runner_opts(/*trials=*/12, /*threads=*/1)};
+    const MonteCarloRunner four{runner_opts(/*trials=*/12, /*threads=*/4)};
     const TrialSummary s1 = one.run(cfg);
     const TrialSummary s4 = four.run(cfg);
 
@@ -298,8 +305,8 @@ TEST(GovernedSessionFaults, MetricsByteIdenticalAcrossThreadCounts) {
     SessionConfig cfg = governed_mixed_config(123);
     cfg.collect_metrics = true;
 
-    const MonteCarloRunner one{RunnerOptions{/*trials=*/12, /*threads=*/1}};
-    const MonteCarloRunner four{RunnerOptions{/*trials=*/12, /*threads=*/4}};
+    const MonteCarloRunner one{runner_opts(/*trials=*/12, /*threads=*/1)};
+    const MonteCarloRunner four{runner_opts(/*trials=*/12, /*threads=*/4)};
     const TrialSummary s1 = one.run(cfg);
     const TrialSummary s4 = four.run(cfg);
 

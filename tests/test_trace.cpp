@@ -74,14 +74,16 @@ TEST(TraceGenerator, IFramesDominatePFramesDominateBFrames) {
     double i_sum = 0, p_sum = 0, b_sum = 0;
     std::size_t i_n = 0, p_n = 0, b_n = 0;
     for (const auto& f : frames) {
+        const double bits = static_cast<double>(f.size_bits);
         switch (f.type) {
-            case FrameType::kI: i_sum += f.size_bits; ++i_n; break;
-            case FrameType::kP: p_sum += f.size_bits; ++p_n; break;
-            default: b_sum += f.size_bits; ++b_n; break;
+            case FrameType::kI: i_sum += bits; ++i_n; break;
+            case FrameType::kP: p_sum += bits; ++p_n; break;
+            case FrameType::kB:
+            case FrameType::kIndependent: b_sum += bits; ++b_n; break;
         }
     }
-    EXPECT_GT(i_sum / i_n, p_sum / p_n);
-    EXPECT_GT(p_sum / p_n, b_sum / b_n);
+    EXPECT_GT(i_sum / static_cast<double>(i_n), p_sum / static_cast<double>(p_n));
+    EXPECT_GT(p_sum / static_cast<double>(p_n), b_sum / static_cast<double>(b_n));
 }
 
 TEST(TraceGenerator, MaxGopCalibratedToPublishedFigure) {
@@ -110,7 +112,7 @@ TEST(MjpegTrace, IndependentConstantTypeFrames) {
     for (const auto& f : frames) {
         EXPECT_EQ(f.type, FrameType::kIndependent);
         EXPECT_GT(f.size_bits, 0u);
-        sum += f.size_bits;
+        sum += static_cast<double>(f.size_bits);
     }
     EXPECT_NEAR(sum / 20.0, 8000.0, 2000.0);
 }

@@ -1,0 +1,741 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace espread::lint {
+
+namespace {
+
+bool ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string trim(const std::string& s) {
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+    return s.substr(b, e - b);
+}
+
+/// `needle` present in `hay` with non-identifier characters (or the buffer
+/// edge) on both sides.
+bool contains_token(const std::string& hay, const std::string& needle) {
+    std::size_t pos = 0;
+    while ((pos = hay.find(needle, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !ident_char(hay[pos - 1]);
+        const std::size_t end = pos + needle.size();
+        const bool right_ok = end == hay.size() || !ident_char(hay[end]);
+        if (left_ok && right_ok) return true;
+        pos += 1;
+    }
+    return false;
+}
+
+/// Token followed (after optional whitespace) by '('.
+bool contains_call(const std::string& hay, const std::string& name,
+                   std::size_t* at = nullptr) {
+    std::size_t pos = 0;
+    while ((pos = hay.find(name, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !ident_char(hay[pos - 1]);
+        std::size_t end = pos + name.size();
+        while (end < hay.size() &&
+               std::isspace(static_cast<unsigned char>(hay[end])) != 0) {
+            ++end;
+        }
+        if (left_ok && end < hay.size() && hay[end] == '(') {
+            if (at != nullptr) *at = pos;
+            return true;
+        }
+        pos += 1;
+    }
+    return false;
+}
+
+// ---- comment/literal stripping --------------------------------------------
+
+/// Per-line views of a translation unit: `code` has comments and the
+/// contents of string/char literals blanked out; `comment` collects the
+/// text of comments that end on (or run through) that line.
+struct Stripped {
+    std::vector<std::string> code;
+    std::vector<std::string> comment;
+};
+
+Stripped strip(const std::string& content) {
+    enum class St { kCode, kLine, kBlock, kStr, kChar, kRaw };
+    Stripped out;
+    std::string code_line;
+    std::string comment_line;
+    St st = St::kCode;
+    std::string raw_end;  // ")delim\"" terminator of the active raw string
+
+    const std::size_t n = content.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const char c = content[i];
+        if (c == '\n') {
+            out.code.push_back(code_line);
+            out.comment.push_back(comment_line);
+            code_line.clear();
+            comment_line.clear();
+            if (st == St::kLine) st = St::kCode;
+            continue;
+        }
+        switch (st) {
+            case St::kCode: {
+                const char next = i + 1 < n ? content[i + 1] : '\0';
+                if (c == '/' && next == '/') {
+                    st = St::kLine;
+                    ++i;
+                } else if (c == '/' && next == '*') {
+                    st = St::kBlock;
+                    ++i;
+                } else if (c == '"') {
+                    // Raw string?  The prefix (R, u8R, uR, UR, LR) sits at
+                    // the end of the code accumulated so far.
+                    bool raw = false;
+                    if (!code_line.empty() && code_line.back() == 'R') {
+                        const std::size_t len = code_line.size();
+                        raw = len == 1 || !ident_char(code_line[len - 2]) ||
+                              (len >= 2 && (code_line[len - 2] == 'u' ||
+                                            code_line[len - 2] == 'U' ||
+                                            code_line[len - 2] == 'L' ||
+                                            code_line[len - 2] == '8'));
+                    }
+                    if (raw) {
+                        std::string delim;
+                        std::size_t j = i + 1;
+                        while (j < n && content[j] != '(') delim += content[j++];
+                        raw_end = ")" + delim + "\"";
+                        i = j;  // consume up to and including '('
+                        st = St::kRaw;
+                    } else {
+                        st = St::kStr;
+                    }
+                    code_line += ' ';
+                } else if (c == '\'') {
+                    // Distinguish a char literal from a digit separator
+                    // (1'000'000): after a digit, ' is a separator.
+                    if (!code_line.empty() &&
+                        std::isdigit(static_cast<unsigned char>(
+                            code_line.back())) != 0) {
+                        code_line += ' ';
+                    } else {
+                        st = St::kChar;
+                        code_line += ' ';
+                    }
+                } else {
+                    code_line += c;
+                }
+                break;
+            }
+            case St::kLine:
+                comment_line += c;
+                break;
+            case St::kBlock:
+                if (c == '*' && i + 1 < n && content[i + 1] == '/') {
+                    st = St::kCode;
+                    ++i;
+                } else {
+                    comment_line += c;
+                }
+                break;
+            case St::kStr:
+                if (c == '\\') {
+                    ++i;
+                } else if (c == '"') {
+                    st = St::kCode;
+                }
+                break;
+            case St::kChar:
+                if (c == '\\') {
+                    ++i;
+                } else if (c == '\'') {
+                    st = St::kCode;
+                }
+                break;
+            case St::kRaw:
+                if (content.compare(i, raw_end.size(), raw_end) == 0) {
+                    i += raw_end.size() - 1;
+                    st = St::kCode;
+                }
+                break;
+        }
+    }
+    out.code.push_back(code_line);
+    out.comment.push_back(comment_line);
+    return out;
+}
+
+// ---- suppressions ----------------------------------------------------------
+
+constexpr const char kMarker[] = "espread-lint:";
+
+/// Per-line suppression sets plus the D0 findings produced while parsing.
+struct Suppressions {
+    /// line index (0-based) -> rule ids suppressed on that line
+    std::map<std::size_t, std::set<std::string>> allow;
+    std::vector<Diagnostic> malformed;
+};
+
+Suppressions parse_suppressions(const std::string& path, const Stripped& s) {
+    Suppressions out;
+    for (std::size_t i = 0; i < s.comment.size(); ++i) {
+        const std::string& comment = s.comment[i];
+        const std::size_t m = comment.find(kMarker);
+        if (m == std::string::npos) continue;
+        const std::size_t line_no = i + 1;
+        std::string rest = trim(comment.substr(m + sizeof(kMarker) - 1));
+        auto bad = [&](const std::string& why) {
+            out.malformed.push_back(
+                {path, line_no, "D0", "malformed suppression: " + why,
+                 Severity::kError});
+        };
+        if (rest.rfind("allow(", 0) != 0) {
+            bad("expected `allow(<rule-ids>) <reason>` after `espread-lint:`");
+            continue;
+        }
+        const std::size_t close = rest.find(')');
+        if (close == std::string::npos) {
+            bad("unterminated allow(...)");
+            continue;
+        }
+        const std::string ids_text = rest.substr(6, close - 6);
+        const std::string reason = trim(rest.substr(close + 1));
+        std::set<std::string> ids;
+        std::stringstream ss(ids_text);
+        std::string id;
+        bool ids_ok = !ids_text.empty();
+        while (std::getline(ss, id, ',')) {
+            id = trim(id);
+            if (!known_rule(id)) {
+                bad("unknown rule id '" + id + "'");
+                ids_ok = false;
+                break;
+            }
+            ids.insert(id);
+        }
+        if (!ids_ok) {
+            if (ids_text.empty()) bad("empty rule list in allow()");
+            continue;
+        }
+        if (reason.empty()) {
+            bad("suppression requires a reason string after allow(" +
+                ids_text + ")");
+            continue;  // a reason-less suppression does not take effect
+        }
+        // Trailing comment: applies to its own line.  Comment-only line:
+        // applies to the next line that contains code.
+        std::size_t target = i;
+        if (trim(s.code[i]).empty()) {
+            target = i + 1;
+            while (target < s.code.size() && trim(s.code[target]).empty()) {
+                ++target;
+            }
+        }
+        out.allow[target].insert(ids.begin(), ids.end());
+    }
+    return out;
+}
+
+// ---- rule helpers ----------------------------------------------------------
+
+bool path_has_prefix(const std::string& path,
+                     const std::vector<std::string>& prefixes) {
+    return std::any_of(prefixes.begin(), prefixes.end(),
+                       [&](const std::string& p) {
+                           return path.rfind(p, 0) == 0;
+                       });
+}
+
+bool rule_allowlisted(const LintConfig& cfg, const std::string& rule,
+                      const std::string& path) {
+    return std::any_of(cfg.allowlist.begin(), cfg.allowlist.end(),
+                       [&](const AllowEntry& e) {
+                           return (e.rule == "*" || e.rule == rule) &&
+                                  glob_match(e.glob, path);
+                       });
+}
+
+/// Emits unless suppressed on `line` or the whole file is allowlisted for
+/// the rule.  D0 findings bypass this (they are never suppressible).
+class Emitter {
+public:
+    Emitter(const std::string& path, const LintConfig& cfg,
+            const Suppressions& sup, std::vector<Diagnostic>& out)
+        : path_(path), cfg_(cfg), sup_(sup), out_(out) {}
+
+    void emit(const char* rule, std::size_t line_idx,
+              const std::string& message) {
+        if (rule_allowlisted(cfg_, rule, path_)) return;
+        const auto it = sup_.allow.find(line_idx);
+        if (it != sup_.allow.end() && it->second.count(rule) != 0) return;
+        Severity sev = Severity::kError;
+        for (const RuleInfo& r : rules()) {
+            if (rule == std::string(r.id)) sev = r.severity;
+        }
+        out_.push_back({path_, line_idx + 1, rule, message, sev});
+    }
+
+private:
+    const std::string& path_;
+    const LintConfig& cfg_;
+    const Suppressions& sup_;
+    std::vector<Diagnostic>& out_;
+};
+
+// ---- D1: entropy / time sources -------------------------------------------
+
+void check_d1(const Stripped& s, Emitter& e) {
+    static const char* kSubstrings[] = {
+        "std::random_device", "random_device",
+        "steady_clock::now",  "system_clock::now",
+        "high_resolution_clock::now", "gettimeofday",
+    };
+    for (std::size_t i = 0; i < s.code.size(); ++i) {
+        const std::string& line = s.code[i];
+        for (const char* pat : kSubstrings) {
+            if (contains_token(line, pat)) {
+                e.emit("D1", i,
+                       std::string("nondeterministic source '") + pat +
+                           "': simulations must derive all entropy and "
+                           "timing from the seeded sim::Rng / sim clock");
+                break;
+            }
+        }
+        for (const char* fn : {"rand", "srand", "clock"}) {
+            if (contains_call(line, fn)) {
+                e.emit("D1", i,
+                       std::string("call to '") + fn +
+                           "()': use the seeded sim::Rng instead");
+                break;
+            }
+        }
+        // time(nullptr) / time(NULL) / time(0) — the classic seed source.
+        std::size_t pos = 0;
+        while ((pos = line.find("time", pos)) != std::string::npos) {
+            const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
+            std::size_t j = pos + 4;
+            while (j < line.size() &&
+                   std::isspace(static_cast<unsigned char>(line[j])) != 0) {
+                ++j;
+            }
+            if (left_ok && j < line.size() && line[j] == '(') {
+                std::size_t close = line.find(')', j);
+                if (close != std::string::npos) {
+                    const std::string arg = trim(line.substr(j + 1, close - j - 1));
+                    if (arg == "nullptr" || arg == "NULL" || arg == "0") {
+                        e.emit("D1", i,
+                               "wall-clock seed 'time(" + arg +
+                                   ")': seeds must be explicit and "
+                                   "reproducible");
+                        break;
+                    }
+                }
+            }
+            pos += 4;
+        }
+    }
+}
+
+// ---- D2: hash-ordered containers in result-producing code ------------------
+
+void check_d2(const std::string& path, const Stripped& s, const LintConfig& cfg,
+              Emitter& e) {
+    if (!path_has_prefix(path, cfg.ordered_output_paths)) return;
+    for (std::size_t i = 0; i < s.code.size(); ++i) {
+        for (const char* pat : {"unordered_map", "unordered_set",
+                                "unordered_multimap", "unordered_multiset"}) {
+            if (contains_token(s.code[i], pat)) {
+                e.emit("D2", i,
+                       std::string("'std::") + pat +
+                           "' in result-producing code: hash order leaks "
+                           "into merged/serialized output; use std::map or "
+                           "a sorted vector");
+                break;
+            }
+        }
+    }
+}
+
+// ---- D3: exhaustive switches over contract enums ---------------------------
+
+void check_d3(const Stripped& s, const LintConfig& cfg, Emitter& e) {
+    // Frame per open brace; switch frames additionally track the case
+    // labels and default position of the switch they own.  Labels bind to
+    // the innermost enclosing switch frame (the compiler's rule too).
+    struct Frame {
+        bool is_switch = false;
+        std::string enum_hit;          // first contract enum seen in a label
+        bool has_default = false;
+        std::size_t default_line = 0;  // 0-based
+    };
+    std::vector<Frame> stack;
+    bool pending_switch = false;  // saw `switch`, waiting for its body `{`
+
+    auto innermost_switch = [&]() -> Frame* {
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            if (it->is_switch) return &*it;
+        }
+        return nullptr;
+    };
+
+    for (std::size_t i = 0; i < s.code.size(); ++i) {
+        const std::string& line = s.code[i];
+        for (std::size_t j = 0; j < line.size(); ++j) {
+            const char c = line[j];
+            if (ident_char(c)) {
+                std::size_t b = j;
+                while (j < line.size() && ident_char(line[j])) ++j;
+                const std::string word = line.substr(b, j - b);
+                if (word == "switch") {
+                    pending_switch = true;
+                } else if (word == "case") {
+                    // Label text runs to the first ':' that is not '::'.
+                    std::string label;
+                    std::size_t k = j;
+                    while (k < line.size()) {
+                        if (line[k] == ':' && k + 1 < line.size() &&
+                            line[k + 1] == ':') {
+                            label += "::";
+                            k += 2;
+                            continue;
+                        }
+                        if (line[k] == ':') break;
+                        label += line[k++];
+                    }
+                    if (Frame* f = innermost_switch()) {
+                        for (const std::string& en : cfg.contract_enums) {
+                            if (label.find(en + "::") != std::string::npos) {
+                                f->enum_hit = en;
+                                break;
+                            }
+                        }
+                    }
+                    j = k;
+                } else if (word == "default") {
+                    std::size_t k = j;
+                    while (k < line.size() &&
+                           std::isspace(static_cast<unsigned char>(line[k])) !=
+                               0) {
+                        ++k;
+                    }
+                    const bool is_label =
+                        k < line.size() && line[k] == ':' &&
+                        (k + 1 >= line.size() || line[k + 1] != ':');
+                    if (is_label) {
+                        if (Frame* f = innermost_switch()) {
+                            if (!f->has_default) {
+                                f->has_default = true;
+                                f->default_line = i;
+                            }
+                        }
+                    }
+                }
+                --j;  // outer loop increments
+            } else if (c == '{') {
+                Frame f;
+                f.is_switch = pending_switch;
+                pending_switch = false;
+                stack.push_back(f);
+            } else if (c == '}') {
+                if (!stack.empty()) {
+                    const Frame f = stack.back();
+                    stack.pop_back();
+                    if (f.is_switch && f.has_default && !f.enum_hit.empty()) {
+                        e.emit("D3", f.default_line,
+                               "'default:' in switch over contract enum '" +
+                                   f.enum_hit +
+                                   "': new enumerators would be silently "
+                                   "swallowed; enumerate every case");
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---- D4: gated trace/metrics emission --------------------------------------
+
+void check_d4(const Stripped& s, const LintConfig& cfg, Emitter& e) {
+    static const char* kSinkCalls[] = {"->record", "->add_counter",
+                                       "->histogram"};
+    for (std::size_t i = 0; i < s.code.size(); ++i) {
+        const std::string& line = s.code[i];
+        for (const char* call : kSinkCalls) {
+            const std::size_t pos = line.find(call);
+            if (pos == std::string::npos) continue;
+            // Must be a call.
+            std::size_t after = pos + std::string(call).size();
+            while (after < line.size() &&
+                   std::isspace(static_cast<unsigned char>(line[after])) != 0) {
+                ++after;
+            }
+            if (after >= line.size() || line[after] != '(') continue;
+            // Receiver expression: identifier chars and '.' walking left
+            // from the arrow (covers `trace_`, `cfg.trace`, `sink`).
+            std::size_t b = pos;
+            while (b > 0 && (ident_char(line[b - 1]) || line[b - 1] == '.')) {
+                --b;
+            }
+            const std::string receiver = line.substr(b, pos - b);
+            if (receiver.empty()) continue;
+            // A null-gate on the same expression within the preceding
+            // window (or earlier on the same line) keeps the site legal.
+            bool gated = false;
+            const std::size_t first =
+                i >= cfg.gate_window ? i - cfg.gate_window : 0;
+            for (std::size_t j = first; j <= i && !gated; ++j) {
+                const std::string& g = s.code[j];
+                const std::size_t if_pos = g.find("if");
+                if (if_pos == std::string::npos) continue;
+                if (j == i && if_pos > b) continue;  // gate must precede call
+                if (g.find(receiver, if_pos) != std::string::npos &&
+                    contains_token(g, "if")) {
+                    gated = true;
+                }
+            }
+            if (!gated) {
+                e.emit("D4", i,
+                       "direct sink call '" + receiver + call +
+                           "(...)' without a null-gate on '" + receiver +
+                           "': emission sites must be zero-cost when "
+                           "observability is off (gate with `if (" +
+                           receiver + ")` or use the gated helper)");
+            }
+        }
+    }
+}
+
+// ---- D5: ownership / include hygiene in library targets --------------------
+
+void check_d5(const std::string& path, const Stripped& s, const LintConfig& cfg,
+              Emitter& e) {
+    if (!path_has_prefix(path, cfg.library_paths)) return;
+    for (std::size_t i = 0; i < s.code.size(); ++i) {
+        const std::string& line = s.code[i];
+        if (line.find("#include") != std::string::npos &&
+            line.find("<iostream>") != std::string::npos) {
+            e.emit("D5", i,
+                   "'#include <iostream>' in a library target: global "
+                   "stream objects drag in static initialization and "
+                   "stdio; format into strings or take an std::ostream&");
+        }
+        std::size_t pos = 0;
+        while ((pos = line.find("new", pos)) != std::string::npos) {
+            const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
+            const std::size_t end = pos + 3;
+            const bool right_ok = end >= line.size() || !ident_char(line[end]);
+            if (left_ok && right_ok) {
+                e.emit("D5", i,
+                       "raw 'new' expression: library code owns memory via "
+                       "containers and std::make_unique");
+                break;
+            }
+            pos += 3;
+        }
+        pos = 0;
+        while ((pos = line.find("delete", pos)) != std::string::npos) {
+            const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
+            const std::size_t end = pos + 6;
+            const bool right_ok = end >= line.size() || !ident_char(line[end]);
+            // `= delete;` declarations are idiomatic and exempt.
+            std::size_t before = pos;
+            while (before > 0 &&
+                   std::isspace(static_cast<unsigned char>(line[before - 1])) !=
+                       0) {
+                --before;
+            }
+            const bool deleted_fn = before > 0 && line[before - 1] == '=';
+            if (left_ok && right_ok && !deleted_fn) {
+                e.emit("D5", i,
+                       "raw 'delete' expression: library code owns memory "
+                       "via containers and std::make_unique");
+                break;
+            }
+            pos += 6;
+        }
+    }
+}
+
+}  // namespace
+
+// ---- public API ------------------------------------------------------------
+
+const std::vector<RuleInfo>& rules() {
+    static const std::vector<RuleInfo> kRules = {
+        {"D0", Severity::kError,
+         "malformed espread-lint suppression (missing reason or unknown rule)"},
+        {"D1", Severity::kError,
+         "nondeterministic entropy or time source outside the allowlist"},
+        {"D2", Severity::kError,
+         "hash-ordered container in result-producing code"},
+        {"D3", Severity::kError, "default: label in a contract-enum switch"},
+        {"D4", Severity::kError, "ungated trace/metrics sink call"},
+        {"D5", Severity::kError,
+         "raw new/delete or <iostream> in a library target"},
+    };
+    return kRules;
+}
+
+bool known_rule(const std::string& id) {
+    return std::any_of(rules().begin(), rules().end(),
+                       [&](const RuleInfo& r) { return id == r.id; });
+}
+
+LintConfig default_config() {
+    LintConfig cfg;
+    cfg.contract_enums = {"EventType",       "Actor",    "GovernorState",
+                          "AckRejectReason", "WireType", "FrameType",
+                          "Scheme"};
+    cfg.ordered_output_paths = {"src/exp/", "src/obs/", "src/protocol/report"};
+    cfg.library_paths = {"src/"};
+    return cfg;
+}
+
+bool load_allowlist_file(const std::string& path, LintConfig& cfg,
+                         std::string* err) {
+    std::ifstream in(path);
+    if (!in) {
+        if (err != nullptr) *err = "cannot open allowlist file: " + path;
+        return false;
+    }
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos) line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty()) continue;
+        std::stringstream ss(line);
+        std::string rule;
+        std::string glob;
+        std::string extra;
+        ss >> rule >> glob;
+        if (glob.empty() || (ss >> extra && !extra.empty())) {
+            if (err != nullptr) {
+                *err = path + ":" + std::to_string(line_no) +
+                       ": expected `<rule-id|*> <glob>`";
+            }
+            return false;
+        }
+        if (rule != "*" && !known_rule(rule)) {
+            if (err != nullptr) {
+                *err = path + ":" + std::to_string(line_no) +
+                       ": unknown rule id '" + rule + "'";
+            }
+            return false;
+        }
+        cfg.allowlist.push_back({rule, glob});
+    }
+    return true;
+}
+
+bool glob_match(const std::string& pattern, const std::string& path) {
+    // Iterative fnmatch with `*` backtracking; `*` crosses '/'.
+    std::size_t p = 0;
+    std::size_t t = 0;
+    std::size_t star = std::string::npos;
+    std::size_t star_t = 0;
+    while (t < path.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == path[t] || pattern[p] == '?')) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            star_t = t;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            t = ++star_t;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*') ++p;
+    return p == pattern.size();
+}
+
+std::vector<Diagnostic> lint_source(const std::string& path,
+                                    const std::string& content,
+                                    const LintConfig& cfg) {
+    std::vector<Diagnostic> out;
+    if (rule_allowlisted(cfg, "*", path)) return out;
+    const Stripped s = strip(content);
+    const Suppressions sup = parse_suppressions(path, s);
+    for (const Diagnostic& d : sup.malformed) {
+        if (!rule_allowlisted(cfg, "D0", path)) out.push_back(d);
+    }
+    Emitter e(path, cfg, sup, out);
+    check_d1(s, e);
+    check_d2(path, s, cfg, e);
+    check_d3(s, cfg, e);
+    check_d4(s, cfg, e);
+    check_d5(path, s, cfg, e);
+    std::sort(out.begin(), out.end(),
+              [](const Diagnostic& a, const Diagnostic& b) {
+                  if (a.line != b.line) return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return out;
+}
+
+std::vector<Diagnostic> lint_file(const std::string& fs_path,
+                                  const std::string& report_path,
+                                  const LintConfig& cfg) {
+    std::ifstream in(fs_path, std::ios::binary);
+    if (!in) {
+        return {{report_path, 0, "D0", "cannot read file", Severity::kError}};
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return lint_source(report_path, buf.str(), cfg);
+}
+
+std::vector<Diagnostic> lint_tree(const std::string& root,
+                                  const std::vector<std::string>& paths,
+                                  const LintConfig& cfg) {
+    namespace fs = std::filesystem;
+    static const std::set<std::string> kExts = {
+        ".cpp", ".cc", ".cxx", ".hpp", ".hxx", ".h", ".ipp"};
+    std::vector<std::string> files;
+    for (const std::string& p : paths) {
+        const fs::path abs = fs::path(root) / p;
+        if (fs::is_directory(abs)) {
+            for (const auto& entry : fs::recursive_directory_iterator(abs)) {
+                if (!entry.is_regular_file()) continue;
+                if (kExts.count(entry.path().extension().string()) == 0) {
+                    continue;
+                }
+                files.push_back(
+                    fs::relative(entry.path(), root).generic_string());
+            }
+        } else {
+            files.push_back(p);
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    std::vector<Diagnostic> out;
+    for (const std::string& f : files) {
+        const std::string abs = (fs::path(root) / f).generic_string();
+        std::vector<Diagnostic> d = lint_file(abs, f, cfg);
+        out.insert(out.end(), d.begin(), d.end());
+    }
+    return out;
+}
+
+std::string format_gcc(const Diagnostic& d) {
+    const char* sev = d.severity == Severity::kError ? "error" : "warning";
+    return d.path + ":" + std::to_string(d.line) + ": " + sev + ": " +
+           d.message + " [" + d.rule + "]";
+}
+
+}  // namespace espread::lint

@@ -1,0 +1,96 @@
+// espread_lint CLI.
+//
+//   espread_lint [--root=DIR] [--allowlist=FILE] [--no-default-allowlist]
+//                [--list-rules] paths...
+//
+// Paths are files or directories relative to --root (default: the current
+// directory).  Exits 0 when clean, 1 when any diagnostic fired, 2 on usage
+// or I/O errors.  Diagnostics are GCC-style (`file:line: error: ... [Dnn]`)
+// so CI log lines are clickable.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+bool parse_value_flag(const char* arg, const char* name, std::string* out) {
+    const std::size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+    *out = arg + len + 1;
+    return !out->empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace espread::lint;
+
+    std::string root = ".";
+    std::string allowlist_path;
+    bool use_default_allowlist = true;
+    bool list_rules = false;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (parse_value_flag(arg, "--root", &root)) {
+        } else if (parse_value_flag(arg, "--allowlist", &allowlist_path)) {
+        } else if (std::strcmp(arg, "--no-default-allowlist") == 0) {
+            use_default_allowlist = false;
+        } else if (std::strcmp(arg, "--list-rules") == 0) {
+            list_rules = true;
+        } else if (std::strncmp(arg, "--", 2) == 0) {
+            std::fprintf(stderr, "espread_lint: unknown flag '%s'\n", arg);
+            return 2;
+        } else {
+            paths.emplace_back(arg);
+        }
+    }
+
+    if (list_rules) {
+        for (const RuleInfo& r : rules()) {
+            std::printf("%s  %-7s  %s\n", r.id,
+                        r.severity == Severity::kError ? "error" : "warning",
+                        r.summary);
+        }
+        return 0;
+    }
+
+    if (paths.empty()) {
+        std::fprintf(stderr,
+                     "usage: espread_lint [--root=DIR] [--allowlist=FILE] "
+                     "[--no-default-allowlist] [--list-rules] paths...\n");
+        return 2;
+    }
+
+    LintConfig cfg = default_config();
+    if (allowlist_path.empty() && use_default_allowlist) {
+        const auto def = std::filesystem::path(root) / "tools" /
+                         "espread_lint" / "allowlist.txt";
+        if (std::filesystem::exists(def)) {
+            allowlist_path = def.generic_string();
+        }
+    }
+    if (!allowlist_path.empty()) {
+        std::string err;
+        if (!load_allowlist_file(allowlist_path, cfg, &err)) {
+            std::fprintf(stderr, "espread_lint: %s\n", err.c_str());
+            return 2;
+        }
+    }
+
+    const std::vector<Diagnostic> diags = lint_tree(root, paths, cfg);
+    for (const Diagnostic& d : diags) {
+        std::printf("%s\n", format_gcc(d).c_str());
+    }
+    if (!diags.empty()) {
+        std::fprintf(stderr, "espread_lint: %zu finding%s\n", diags.size(),
+                     diags.size() == 1 ? "" : "s");
+        return 1;
+    }
+    return 0;
+}
