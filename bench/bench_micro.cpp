@@ -12,6 +12,7 @@
 #include "core/interleaver.hpp"
 #include "core/optimal.hpp"
 #include "core/spreader.hpp"
+#include "engine/engine.hpp"
 #include "net/gilbert.hpp"
 #include "protocol/codec.hpp"
 #include "protocol/session.hpp"
@@ -128,6 +129,66 @@ void BM_GilbertStep(benchmark::State& state) {
 }
 BENCHMARK(BM_GilbertStep);
 
+void BM_GilbertNextRun(benchmark::State& state) {
+    // Batched classic-emission sampling: one call per sojourn instead of
+    // one per packet (48-packet windows, the Fig. 8 shape).
+    espread::net::GilbertLoss loss{{0.92, 0.6}, espread::sim::Rng{1}};
+    for (auto _ : state) {
+        std::uint64_t covered = 0;
+        while (covered < 48) {
+            const auto run = loss.next_run(48 - covered);
+            covered += run.length;
+        }
+        benchmark::DoNotOptimize(covered);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 48);
+}
+BENCHMARK(BM_GilbertNextRun);
+
+/// Pre-slicing wire_checksum, kept verbatim so one bench run reports the
+/// before/after pair for EXPERIMENTS.md.
+std::uint16_t wire_checksum_bitwise(const std::uint8_t* data,
+                                    std::size_t size) noexcept {
+    std::uint16_t crc = 0xFFFF;
+    for (std::size_t i = 0; i < size; ++i) {
+        crc ^= static_cast<std::uint16_t>(data[i]) << 8;
+        for (int bit = 0; bit < 8; ++bit) {
+            crc = (crc & 0x8000u)
+                      ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021u)
+                      : static_cast<std::uint16_t>(crc << 1);
+        }
+    }
+    return crc;
+}
+
+std::vector<std::uint8_t> checksum_payload(std::size_t size) {
+    std::vector<std::uint8_t> buf(size);
+    espread::sim::Rng rng(7);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_u64());
+    return buf;
+}
+
+void BM_WireChecksum(benchmark::State& state) {
+    const auto buf = checksum_payload(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            espread::proto::wire_checksum(buf.data(), buf.size()));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_WireChecksum)->Arg(32)->Arg(1024);
+
+void BM_WireChecksumBitwise(benchmark::State& state) {
+    const auto buf = checksum_payload(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(wire_checksum_bitwise(buf.data(), buf.size()));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_WireChecksumBitwise)->Arg(32)->Arg(1024);
+
 void BM_CodecRoundTrip(benchmark::State& state) {
     espread::proto::DataPacket p;
     p.seq = 12345;
@@ -165,6 +226,22 @@ void BM_FullSessionWindow(benchmark::State& state) {
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 25);
 }
 BENCHMARK(BM_FullSessionWindow)->Unit(benchmark::kMillisecond);
+
+void BM_EngineWindowStep(benchmark::State& state) {
+    // Per-window cost of the data-oriented engine's batched hot path, for
+    // direct comparison with BM_FullSessionWindow's per-object loop.
+    espread::engine::EngineConfig cfg;
+    cfg.sessions = static_cast<std::size_t>(state.range(0));
+    cfg.shards = 1;
+    cfg.seed = 1;
+    espread::engine::ShardedEngine engine(cfg);
+    for (auto _ : state) {
+        engine.step();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_EngineWindowStep)->Arg(1)->Arg(1024);
 
 }  // namespace
 

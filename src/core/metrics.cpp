@@ -150,6 +150,45 @@ std::size_t consecutive_loss(const BitMask& delivered) {
     return std::max(best, current);
 }
 
+std::size_t max_set_run(const std::uint64_t* words, std::size_t nwords) noexcept {
+    std::size_t best = 0;
+    std::size_t carry = 0;  // run continuing in from the previous word
+    for (std::size_t wi = 0; wi < nwords; ++wi) {
+        const std::uint64_t w = words[wi];
+        if (w == 0) {
+            best = std::max(best, carry);
+            carry = 0;
+            continue;
+        }
+        if (w == ~std::uint64_t{0}) {
+            carry += 64;
+            continue;
+        }
+        // Close the carried run against the word's leading set bits, scan
+        // the interior runs (fully contained: the word is neither empty nor
+        // full), then carry the run touching the word top into the next.
+        const unsigned lead = static_cast<unsigned>(std::countr_one(w));
+        best = std::max(best, carry + lead);
+        std::uint64_t x = w >> lead;  // bit 0 is now clear
+        while (x != 0) {
+            x >>= std::countr_zero(x);
+            const unsigned o = static_cast<unsigned>(std::countr_one(x));
+            best = std::max<std::size_t>(best, o);
+            x >>= o;  // o < 64: at least one zero was shifted out above
+        }
+        carry = static_cast<std::size_t>(std::countl_one(w));
+    }
+    return std::max(best, carry);
+}
+
+std::size_t count_set_bits(const std::uint64_t* words, std::size_t nwords) noexcept {
+    std::size_t n = 0;
+    for (std::size_t wi = 0; wi < nwords; ++wi) {
+        n += static_cast<std::size_t>(std::popcount(words[wi]));
+    }
+    return n;
+}
+
 std::size_t aggregate_loss_count(const BitMask& delivered) {
     // Tail bits past size() are set by invariant, so every clear bit in the
     // backing words is a real loss.

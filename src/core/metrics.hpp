@@ -97,6 +97,20 @@ std::size_t consecutive_loss(const BitMask& delivered);
 std::size_t aggregate_loss_count(const BitMask& delivered);
 ContinuityReport measure_continuity(const BitMask& delivered);
 
+// Raw-word batch entry points for the multi-session engine (src/engine):
+// the caller owns packed LOSS-polarity words (set bit = unit loss, the
+// inverse of BitMask) with every bit past the mask's logical size clear.
+// These run on caller arenas with no BitMask object and no allocation.
+
+/// Longest run of set bits across `nwords` words treated as one contiguous
+/// bit sequence (bit 0 of words[0] first).  Equals consecutive_loss() of
+/// the corresponding delivery mask.
+std::size_t max_set_run(const std::uint64_t* words, std::size_t nwords) noexcept;
+
+/// Number of set bits across `nwords` words — aggregate_loss_count() of the
+/// corresponding delivery mask.
+std::size_t count_set_bits(const std::uint64_t* words, std::size_t nwords) noexcept;
+
 /// Accumulates continuity over a sequence of buffer windows, tracking the
 /// per-window CLF series the paper plots in Figure 8 plus its mean /
 /// deviation rows.  Window boundaries do NOT merge loss runs: each window is

@@ -7,7 +7,9 @@
 // algorithm produces (its "k-Cyclic Permutation Order").
 #pragma once
 
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
 #include <stdexcept>
 #include <string>
@@ -120,6 +122,26 @@ public:
         out.resize(items.size());
         for (std::size_t slot = 0; slot < image_.size(); ++slot) {
             out[image_[slot]] = items[slot];
+        }
+    }
+
+    /// Batch entry point for bit-packed masks (multi-session engine hot
+    /// path): every set bit `slot` of `src` sets bit `image()[slot]` in
+    /// `dst` — transmission-order loss bits scattered into playback order,
+    /// the bitwise analogue of unapply() for a set-bit predicate.  Both
+    /// arrays hold `nwords` words covering size() bits; bits past size()
+    /// must be clear in `src`; `dst` is OR-accumulated (clear it first for
+    /// a plain permute).  No allocation, no aliasing allowed.
+    void scatter_set_bits(const std::uint64_t* src, std::uint64_t* dst,
+                          std::size_t nwords) const noexcept {
+        for (std::size_t wi = 0; wi < nwords; ++wi) {
+            std::uint64_t w = src[wi];
+            while (w != 0) {
+                const unsigned bit = static_cast<unsigned>(std::countr_zero(w));
+                w &= w - 1;  // clear lowest set bit
+                const std::size_t original = image_[wi * 64 + bit];
+                dst[original >> 6] |= std::uint64_t{1} << (original & 63);
+            }
         }
     }
 

@@ -1,0 +1,97 @@
+// Configuration of the data-oriented multi-session engine (src/engine).
+//
+// The engine runs the paper's §4.2 adaptive window loop — k-CPO
+// permutation, Gilbert packet loss, unspread, CLF measurement, Eq. 1
+// feedback with the Fig. 6 ACK delay — for many concurrent sessions over
+// structure-of-arrays state, instead of one discrete-event Session object
+// per stream.  One EngineConfig fully determines a run: all randomness is
+// derived from (seed, session id) via sim::derive_seed, so results are
+// byte-identical across shard counts (pinned by test_engine).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+#include "net/gilbert.hpp"
+
+namespace espread::engine {
+
+/// Seeded session arrival/departure model.  Lifetimes are
+/// min + Geometric(mean excess) windows; after a departure the slot stays
+/// idle for a Geometric(mean gap) number of windows before the next
+/// session spawns (gap 0 = immediate respawn, keeping the active
+/// population constant while still churning session identities).  Both
+/// draws come from the departing/arriving session's own RNG stream, so
+/// churn is independent of sharding.
+struct ChurnConfig {
+    bool enabled = false;
+    std::size_t min_lifetime_windows = 16;   ///< floor on session length
+    double mean_lifetime_windows = 64.0;     ///< mean session length (>= min)
+    double mean_arrival_gap_windows = 0.0;   ///< mean idle windows per slot
+};
+
+/// Full parameterization of a ShardedEngine run.  Defaults reproduce the
+/// Fig. 8 setup: 24-LDU windows, two packets per LDU, Gilbert(0.92, 0.6)
+/// on both the data and feedback paths, alpha = 1/2, feedback applied two
+/// windows after the ACKed window (Fig. 6).
+struct EngineConfig {
+    std::size_t sessions = 1;   ///< concurrent session slots (pool capacity)
+    std::size_t shards = 1;     ///< worker shards; 0 = hardware threads
+
+    std::size_t window_ldus = 24;     ///< n: LDUs per buffer window
+    std::size_t packets_per_ldu = 2;  ///< f: network packets per LDU
+    bool spread = true;               ///< false = in-order comparison arm
+
+    double alpha = 0.5;                       ///< Eq. 1 EWMA weight
+    std::size_t feedback_delay_windows = 2;   ///< Fig. 6 ACK-to-effect lag
+
+    net::GilbertParams data_loss{};      ///< server -> client packet channel
+    net::GilbertParams feedback_loss{};  ///< client -> server ACK channel
+
+    ChurnConfig churn{};
+
+    /// When set, summarize() also fills an obs::MetricsRegistry with
+    /// engine/* counters and histograms (integer-valued, so the rendered
+    /// registry is byte-identical across shard counts).
+    bool collect_metrics = false;
+
+    std::uint64_t seed = 1;
+
+    /// Throws std::invalid_argument on out-of-domain values.  Channel
+    /// probabilities are validated here (not only in GilbertLoss) so the
+    /// engine's noexcept hot path can respawn sessions without a throw
+    /// path.
+    void validate() const {
+        if (sessions == 0) {
+            throw std::invalid_argument("EngineConfig: sessions must be >= 1");
+        }
+        if (window_ldus == 0) {
+            throw std::invalid_argument("EngineConfig: window_ldus must be >= 1");
+        }
+        if (packets_per_ldu == 0) {
+            throw std::invalid_argument("EngineConfig: packets_per_ldu must be >= 1");
+        }
+        if (!(alpha >= 0.0 && alpha <= 1.0)) {
+            throw std::invalid_argument("EngineConfig: alpha must be in [0, 1]");
+        }
+        if (feedback_delay_windows == 0) {
+            throw std::invalid_argument(
+                "EngineConfig: feedback_delay_windows must be >= 1");
+        }
+        if (churn.enabled && churn.min_lifetime_windows == 0) {
+            throw std::invalid_argument(
+                "EngineConfig: churn.min_lifetime_windows must be >= 1");
+        }
+        const auto prob = [](double p) { return p >= 0.0 && p <= 1.0; };
+        for (const net::GilbertParams& g : {data_loss, feedback_loss}) {
+            if (!prob(g.p_good) || !prob(g.p_bad) || !prob(g.loss_good) ||
+                !prob(g.loss_bad)) {
+                throw std::invalid_argument(
+                    "EngineConfig: channel probabilities must be in [0, 1]");
+            }
+        }
+    }
+};
+
+}  // namespace espread::engine

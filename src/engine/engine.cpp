@@ -1,0 +1,98 @@
+#include "engine/engine.hpp"
+
+#include <string>
+
+#include "exp/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace espread::engine {
+
+EngineConfig ShardedEngine::normalize(EngineConfig cfg) {
+    cfg.validate();
+    if (cfg.shards == 0) cfg.shards = exp::ThreadPool::hardware_threads();
+    if (cfg.shards > cfg.sessions) cfg.shards = cfg.sessions;
+    return cfg;
+}
+
+ShardedEngine::ShardedEngine(const EngineConfig& cfg)
+    : cfg_(normalize(cfg)), pool_(cfg_), scratch_(cfg_.shards) {
+    const std::size_t shards = cfg_.shards;
+    const std::size_t cap = pool_.capacity();
+    const std::size_t base = cap / shards;
+    const std::size_t rem = cap % shards;
+    std::size_t begin = 0;
+    ranges_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+        const std::size_t len = base + (s < rem ? 1 : 0);
+        ranges_.emplace_back(begin, begin + len);
+        begin += len;
+    }
+    for (ShardScratch& s : scratch_) pool_.init_scratch(s);
+    if (shards > 1) workers_ = std::make_unique<exp::ThreadPool>(shards);
+}
+
+void ShardedEngine::step() {
+    if (!workers_) {
+        pool_.run_window_range(ranges_[0].first, ranges_[0].second, scratch_[0]);
+        return;
+    }
+    for (std::size_t s = 0; s < scratch_.size(); ++s) {
+        workers_->submit([this, s] {
+            pool_.run_window_range(ranges_[s].first, ranges_[s].second,
+                                   scratch_[s]);
+        });
+    }
+    workers_->wait_idle();
+}
+
+void ShardedEngine::run(std::size_t windows) {
+    for (std::size_t w = 0; w < windows; ++w) step();
+}
+
+namespace {
+
+void append_histogram(exp::JsonWriter& json, const sim::Histogram& h) {
+    json.begin_object();
+    json.key("total").value(static_cast<std::uint64_t>(h.total()));
+    json.key("bins").begin_object();
+    for (const auto& [value, count] : h.bins()) {
+        json.key(std::to_string(value)).value(static_cast<std::uint64_t>(count));
+    }
+    json.end_object();
+    json.end_object();
+}
+
+}  // namespace
+
+void append_summary(exp::JsonWriter& json, const EngineSummary& s) {
+    json.begin_object();
+    json.key("sessions").value(static_cast<std::uint64_t>(s.sessions));
+    json.key("active_sessions").value(static_cast<std::uint64_t>(s.active_sessions));
+    json.key("windows").value(s.windows);
+    json.key("slots").value(s.slots);
+    json.key("unit_losses").value(s.unit_losses);
+    json.key("idle_windows").value(s.idle_windows);
+    json.key("alf").value(s.alf);
+    json.key("clf_mean").value(s.clf_mean);
+    json.key("clf_dev").value(s.clf_dev);
+    json.key("clf_max").value(s.clf_max);
+    json.key("acks_delivered").value(s.acks_delivered);
+    json.key("acks_lost").value(s.acks_lost);
+    json.key("sessions_spawned").value(s.sessions_spawned);
+    json.key("sessions_completed").value(s.sessions_completed);
+    json.key("clf_histogram");
+    append_histogram(json, s.clf_histogram);
+    json.key("bound_histogram");
+    append_histogram(json, s.bound_histogram);
+    json.key("metrics");
+    obs::append_metrics(json, s.metrics);
+    json.end_object();
+}
+
+std::string summary_json(const EngineSummary& s) {
+    exp::JsonWriter json;
+    append_summary(json, s);
+    return json.str();
+}
+
+}  // namespace espread::engine

@@ -1,0 +1,69 @@
+// ShardedEngine: the session pool split across a fixed worker fleet.
+//
+// The pool's slot axis is cut into one contiguous range per shard; every
+// step() runs each range on its own worker (or inline when there is only
+// one shard, which keeps the single-shard hot path free of even the task
+// dispatch's allocations).  Because each slot's randomness is keyed by
+// (seed, session id) and all accumulators merge in slot order, a run's
+// summary is byte-identical for any shard count — sharding buys
+// wall-clock only, never different numbers.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/config.hpp"
+#include "engine/pool.hpp"
+#include "exp/thread_pool.hpp"
+
+namespace espread::exp {
+class JsonWriter;
+}
+
+namespace espread::engine {
+
+class ShardedEngine {
+public:
+    /// Validates the config, resolves shards (0 = hardware threads,
+    /// clamped to the session count), builds the pool and, for more than
+    /// one shard, the worker fleet.
+    explicit ShardedEngine(const EngineConfig& cfg);
+
+    const EngineConfig& config() const noexcept { return cfg_; }
+    std::size_t shards() const noexcept { return scratch_.size(); }
+    const SessionPool& pool() const noexcept { return pool_; }
+
+    /// Advances every active session by one buffer window.  Single shard:
+    /// runs inline, zero allocations.  Multiple shards: dispatches one
+    /// task per shard and waits (O(shards) task allocations per step;
+    /// the per-session work itself still allocates nothing).
+    void step();
+
+    /// step() `windows` times.
+    void run(std::size_t windows);
+
+    /// Deterministic summary of everything run so far.
+    EngineSummary summary() const { return pool_.summarize(scratch_); }
+
+private:
+    static EngineConfig normalize(EngineConfig cfg);
+
+    EngineConfig cfg_;   // normalized: shards resolved, validated
+    SessionPool pool_;
+    std::vector<ShardScratch> scratch_;                      // one per shard
+    std::vector<std::pair<std::size_t, std::size_t>> ranges_; // slot ranges
+    std::unique_ptr<exp::ThreadPool> workers_;  // null when single shard
+};
+
+/// Appends the summary as one JSON object (scalars, histograms, and the
+/// metrics registry).  Contains no wall-clock fields, so the rendering is
+/// usable as a determinism fingerprint.
+void append_summary(exp::JsonWriter& json, const EngineSummary& s);
+
+/// The summary rendered as a standalone JSON string (test fingerprint).
+std::string summary_json(const EngineSummary& s);
+
+}  // namespace espread::engine

@@ -1,0 +1,293 @@
+#include "engine/pool.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/cpo.hpp"
+#include "core/estimator.hpp"
+#include "core/metrics.hpp"
+#include "sim/rng.hpp"
+
+namespace espread::engine {
+
+namespace {
+
+constexpr std::uint32_t kNoObs = std::numeric_limits<std::uint32_t>::max();
+
+/// Sets bits [lo, hi] (inclusive) across packed words.
+void set_bits(std::uint64_t* w, std::size_t lo, std::size_t hi) noexcept {
+    const std::size_t wlo = lo >> 6;
+    const std::size_t whi = hi >> 6;
+    const std::uint64_t mlo = ~std::uint64_t{0} << (lo & 63);
+    const std::uint64_t mhi = (hi & 63) == 63
+                                  ? ~std::uint64_t{0}
+                                  : (std::uint64_t{1} << ((hi & 63) + 1)) - 1;
+    if (wlo == whi) {
+        w[wlo] |= mlo & mhi;
+        return;
+    }
+    w[wlo] |= mlo;
+    for (std::size_t i = wlo + 1; i < whi; ++i) w[i] = ~std::uint64_t{0};
+    w[whi] |= mhi;
+}
+
+std::uint32_t clamp_u32(std::uint64_t v) noexcept {
+    constexpr std::uint64_t kMax = std::numeric_limits<std::uint32_t>::max();
+    return static_cast<std::uint32_t>(v < kMax ? v : kMax);
+}
+
+}  // namespace
+
+SessionPool::SessionPool(const EngineConfig& cfg) : cfg_(cfg) {
+    cfg_.validate();
+    capacity_ = cfg_.sessions;
+    n_ = cfg_.window_ldus;
+    f_ = cfg_.packets_per_ldu;
+    words_ = (n_ + 63) / 64;
+
+    if (cfg_.spread) {
+        perms_.resize(n_ + 1);
+        for (std::size_t b = 1; b <= n_; ++b) {
+            perms_[b] = calculate_permutation(n_, b).perm;
+        }
+    }
+
+    const std::size_t D = cfg_.feedback_delay_windows;
+    data_chain_.reserve(capacity_);
+    feedback_chain_.reserve(capacity_);
+    estimate_.assign(capacity_, 0.0);
+    pending_.assign(capacity_ * D, kNoObs);
+    windows_run_.assign(capacity_, 0);
+    lifetime_left_.assign(capacity_, 0);
+    idle_left_.assign(capacity_, 0);
+    gap_next_.assign(capacity_, 0);
+    generation_.assign(capacity_, 0);
+    tot_windows_.assign(capacity_, 0);
+    tot_clf_.assign(capacity_, 0);
+    tot_clf_sq_.assign(capacity_, 0);
+    tot_losses_.assign(capacity_, 0);
+    tot_acks_ok_.assign(capacity_, 0);
+    tot_acks_lost_.assign(capacity_, 0);
+    tot_spawned_.assign(capacity_, 0);
+    tot_completed_.assign(capacity_, 0);
+    max_clf_.assign(capacity_, 0);
+
+    // spawn() assigns into the chain slots, so generation 0 first fills
+    // the vectors with placeholder chains (replaced immediately).
+    for (std::size_t slot = 0; slot < capacity_; ++slot) {
+        sim::Rng placeholder(0);
+        data_chain_.emplace_back(cfg_.data_loss, placeholder);
+        feedback_chain_.emplace_back(cfg_.feedback_loss, placeholder);
+        spawn(slot);
+    }
+}
+
+std::pair<std::uint32_t, std::uint32_t> SessionPool::churn_draw(
+    const EngineConfig& cfg, std::uint64_t session_id) {
+    sim::Rng root(sim::derive_seed(cfg.seed, session_id));
+    sim::Rng life = root.split(3);
+    const double min_life =
+        static_cast<double>(cfg.churn.min_lifetime_windows);
+    const double extra = cfg.churn.mean_lifetime_windows > min_life
+                             ? cfg.churn.mean_lifetime_windows - min_life
+                             : 0.0;
+    std::uint64_t lifetime = static_cast<std::uint64_t>(
+                                 cfg.churn.min_lifetime_windows) +
+                             life.geometric(1.0 / (1.0 + extra));
+    if (lifetime == 0) lifetime = 1;
+    std::uint64_t gap = 0;
+    if (cfg.churn.mean_arrival_gap_windows > 0.0) {
+        gap = life.geometric(1.0 / (1.0 + cfg.churn.mean_arrival_gap_windows));
+    }
+    return {clamp_u32(lifetime), clamp_u32(gap)};
+}
+
+void SessionPool::spawn(std::size_t slot) {
+    const std::uint64_t id =
+        static_cast<std::uint64_t>(generation_[slot]) *
+            static_cast<std::uint64_t>(capacity_) +
+        static_cast<std::uint64_t>(slot);
+    sim::Rng root(sim::derive_seed(cfg_.seed, id));
+    data_chain_[slot] = net::GilbertLoss(cfg_.data_loss, root.split(1));
+    feedback_chain_[slot] = net::GilbertLoss(cfg_.feedback_loss, root.split(2));
+    estimate_[slot] = static_cast<double>(n_) / 2.0;
+    windows_run_[slot] = 0;
+    const std::size_t D = cfg_.feedback_delay_windows;
+    for (std::size_t d = 0; d < D; ++d) pending_[slot * D + d] = kNoObs;
+    if (cfg_.churn.enabled) {
+        const auto [life, gap] = churn_draw(cfg_, id);
+        lifetime_left_[slot] = life;
+        gap_next_[slot] = gap;
+    } else {
+        lifetime_left_[slot] = 0;
+        gap_next_[slot] = 0;
+    }
+    ++tot_spawned_[slot];
+}
+
+void SessionPool::init_scratch(ShardScratch& s) const {
+    s.tx_words.assign(words_, 0);
+    s.pb_words.assign(words_, 0);
+    s.clf_hist.assign(n_ + 1, 0);
+    s.bound_hist.assign(n_ + 1, 0);
+    s.idle_windows = 0;
+}
+
+void SessionPool::run_window_range(std::size_t begin, std::size_t end,
+                                   ShardScratch& s) noexcept {
+    const std::size_t D = cfg_.feedback_delay_windows;
+    const std::size_t packets = n_ * f_;
+    std::uint64_t* tx = s.tx_words.data();
+    std::uint64_t* pb = s.pb_words.data();
+    for (std::size_t slot = begin; slot < end; ++slot) {
+        if (idle_left_[slot] > 0) {
+            // Churn gap: the slot carries no session this window.  The
+            // arriving session's first window runs on the next step.
+            ++s.idle_windows;
+            if (--idle_left_[slot] == 0) {
+                ++generation_[slot];
+                spawn(slot);
+            }
+            continue;
+        }
+
+        // 1. Feedback that has aged feedback_delay_windows becomes the
+        //    Eq. 1 observation shaping this window (Fig. 6 pipeline).
+        const std::uint32_t w = windows_run_[slot];
+        std::uint32_t& cell = pending_[slot * D + (w % D)];
+        if (cell != kNoObs) {
+            estimate_[slot] = cfg_.alpha * static_cast<double>(cell) +
+                              (1.0 - cfg_.alpha) * estimate_[slot];
+            cell = kNoObs;
+        }
+        const std::size_t bound = BurstEstimator::bound_for(estimate_[slot], n_);
+
+        // 2. Channel: batched Gilbert runs -> lost-LDU bit ranges in
+        //    transmission order (an LDU is lost if any of its packets is).
+        std::fill_n(tx, words_, std::uint64_t{0});
+        net::GilbertLoss& chain = data_chain_[slot];
+        std::size_t pkt = 0;
+        bool any_loss = false;
+        while (pkt < packets) {
+            const net::GilbertLoss::Run run =
+                chain.next_run(static_cast<std::uint64_t>(packets - pkt));
+            const std::size_t len = static_cast<std::size_t>(run.length);
+            if (run.lost) {
+                any_loss = true;
+                set_bits(tx, pkt / f_, (pkt + len - 1) / f_);
+            }
+            pkt += len;
+        }
+
+        // 3. Unspread + continuity accounting, word at a time.
+        std::size_t obs = 0;
+        std::size_t clf = 0;
+        std::size_t losses = 0;
+        if (any_loss) {
+            losses = count_set_bits(tx, words_);
+            obs = max_set_run(tx, words_);
+            if (cfg_.spread) {
+                std::fill_n(pb, words_, std::uint64_t{0});
+                perms_[bound].scatter_set_bits(tx, pb, words_);
+                clf = max_set_run(pb, words_);
+            } else {
+                clf = obs;
+            }
+        }
+
+        // 4. The client ACKs its transmission-order burst observation
+        //    across the (lossy) feedback channel.
+        if (feedback_chain_[slot].drop_next()) {
+            ++tot_acks_lost_[slot];
+        } else {
+            pending_[slot * D + (w % D)] = static_cast<std::uint32_t>(obs);
+            ++tot_acks_ok_[slot];
+        }
+
+        // 5. Integer accumulators (grouping-independent merge).
+        ++tot_windows_[slot];
+        tot_clf_[slot] += clf;
+        tot_clf_sq_[slot] +=
+            static_cast<std::uint64_t>(clf) * static_cast<std::uint64_t>(clf);
+        tot_losses_[slot] += losses;
+        if (clf > max_clf_[slot]) max_clf_[slot] = static_cast<std::uint32_t>(clf);
+        ++s.clf_hist[clf];
+        ++s.bound_hist[bound];
+        windows_run_[slot] = w + 1;
+
+        // 6. Churn: departure, then either an idle gap or an immediate
+        //    respawn with a fresh RNG stream (new session id).
+        if (lifetime_left_[slot] > 0 && --lifetime_left_[slot] == 0) {
+            ++tot_completed_[slot];
+            if (gap_next_[slot] > 0) {
+                idle_left_[slot] = gap_next_[slot];
+            } else {
+                ++generation_[slot];
+                spawn(slot);
+            }
+        }
+    }
+}
+
+EngineSummary SessionPool::summarize(
+    const std::vector<ShardScratch>& shards) const {
+    EngineSummary out;
+    out.sessions = capacity_;
+    for (std::size_t slot = 0; slot < capacity_; ++slot) {
+        if (idle_left_[slot] == 0) ++out.active_sessions;
+        out.windows += tot_windows_[slot];
+        out.unit_losses += tot_losses_[slot];
+        out.acks_delivered += tot_acks_ok_[slot];
+        out.acks_lost += tot_acks_lost_[slot];
+        out.sessions_spawned += tot_spawned_[slot];
+        out.sessions_completed += tot_completed_[slot];
+        out.clf_max = std::max<std::uint64_t>(out.clf_max, max_clf_[slot]);
+    }
+    out.slots = out.windows * static_cast<std::uint64_t>(n_);
+    std::uint64_t clf_sum = 0;
+    std::uint64_t clf_sq = 0;
+    for (std::size_t slot = 0; slot < capacity_; ++slot) {
+        clf_sum += tot_clf_[slot];
+        clf_sq += tot_clf_sq_[slot];
+    }
+    if (out.windows > 0) {
+        const double w = static_cast<double>(out.windows);
+        out.alf = static_cast<double>(out.unit_losses) /
+                  static_cast<double>(out.slots);
+        out.clf_mean = static_cast<double>(clf_sum) / w;
+        const double var =
+            static_cast<double>(clf_sq) / w - out.clf_mean * out.clf_mean;
+        out.clf_dev = var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+    for (const ShardScratch& s : shards) {
+        out.idle_windows += s.idle_windows;
+        for (std::size_t v = 0; v < s.clf_hist.size(); ++v) {
+            if (s.clf_hist[v] > 0) {
+                out.clf_histogram.add(static_cast<std::int64_t>(v),
+                                      static_cast<std::size_t>(s.clf_hist[v]));
+            }
+        }
+        for (std::size_t b = 0; b < s.bound_hist.size(); ++b) {
+            if (s.bound_hist[b] > 0) {
+                out.bound_histogram.add(static_cast<std::int64_t>(b),
+                                        static_cast<std::size_t>(s.bound_hist[b]));
+            }
+        }
+    }
+    if (cfg_.collect_metrics) {
+        out.metrics.add_counter("engine/windows", out.windows);
+        out.metrics.add_counter("engine/unit_losses", out.unit_losses);
+        out.metrics.add_counter("engine/acks_delivered", out.acks_delivered);
+        out.metrics.add_counter("engine/acks_lost", out.acks_lost);
+        out.metrics.add_counter("engine/sessions_spawned", out.sessions_spawned);
+        out.metrics.add_counter("engine/sessions_completed",
+                                out.sessions_completed);
+        out.metrics.add_counter("engine/idle_windows", out.idle_windows);
+        out.metrics.histogram("engine/window_clf").merge(out.clf_histogram);
+        out.metrics.histogram("engine/bound_used").merge(out.bound_histogram);
+    }
+    return out;
+}
+
+}  // namespace espread::engine

@@ -1,0 +1,66 @@
+#include "engine/reference.hpp"
+
+#include <optional>
+
+#include "core/cpo.hpp"
+#include "core/estimator.hpp"
+#include "core/metrics.hpp"
+#include "core/permutation.hpp"
+#include "net/gilbert.hpp"
+#include "sim/rng.hpp"
+
+namespace espread::engine {
+
+ReferenceTrace run_reference_session(const EngineConfig& cfg,
+                                     std::uint64_t session_id,
+                                     std::size_t windows) {
+    cfg.validate();
+    const std::size_t n = cfg.window_ldus;
+    const std::size_t f = cfg.packets_per_ldu;
+    const std::size_t D = cfg.feedback_delay_windows;
+
+    sim::Rng root(sim::derive_seed(cfg.seed, session_id));
+    net::GilbertLoss data(cfg.data_loss, root.split(1));
+    net::GilbertLoss feedback(cfg.feedback_loss, root.split(2));
+    BurstEstimator estimator(n, cfg.alpha);
+    std::vector<std::optional<std::size_t>> pending(D);
+
+    ReferenceTrace trace;
+    trace.window_clf.reserve(windows);
+    trace.window_bound.reserve(windows);
+    for (std::size_t w = 0; w < windows; ++w) {
+        if (pending[w % D]) {
+            estimator.update(*pending[w % D]);
+            pending[w % D].reset();
+        }
+        const std::size_t bound = estimator.bound();
+
+        // One drop_next per packet; an LDU is lost if any packet is.
+        LossMask tx_delivered(n, true);
+        for (std::size_t ldu = 0; ldu < n; ++ldu) {
+            for (std::size_t p = 0; p < f; ++p) {
+                if (data.drop_next()) tx_delivered[ldu] = false;
+            }
+        }
+
+        const Permutation perm = cfg.spread
+                                     ? calculate_permutation(n, bound).perm
+                                     : Permutation::identity(n);
+        const LossMask playback = perm.unapply(tx_delivered);
+
+        const std::size_t obs = consecutive_loss(tx_delivered);
+        trace.window_clf.push_back(consecutive_loss(playback));
+        trace.window_bound.push_back(bound);
+        trace.unit_losses += aggregate_loss_count(playback);
+
+        if (feedback.drop_next()) {
+            ++trace.acks_lost;
+        } else {
+            pending[w % D] = obs;
+            ++trace.acks_delivered;
+        }
+    }
+    return trace;
+}
+
+}  // namespace espread::engine

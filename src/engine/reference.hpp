@@ -1,0 +1,38 @@
+// Scalar reference for the engine's window loop.
+//
+// One session, simulated the straightforward way: a real BurstEstimator,
+// a fresh calculate_permutation per window, LossMask vectors, and one
+// GilbertLoss::drop_next() per packet.  test_engine pins the batched SoA
+// hot path (bit-range marking, scatter_set_bits, max_set_run) against
+// this implementation window by window, so any divergence in the
+// engine's word-level tricks fails loudly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "engine/config.hpp"
+
+namespace espread::engine {
+
+/// Per-window trace of one reference session.
+struct ReferenceTrace {
+    std::vector<std::size_t> window_clf;    ///< playback-order CLF per window
+    std::vector<std::size_t> window_bound;  ///< Eq. 1 bound used per window
+    std::uint64_t unit_losses = 0;
+    std::uint64_t acks_delivered = 0;
+    std::uint64_t acks_lost = 0;
+};
+
+/// Runs `windows` buffer windows of the session identified by
+/// `session_id` under `cfg` (churn ignored: the caller decides how many
+/// windows a generation lives).  Uses the same RNG stream layout as
+/// SessionPool::spawn — root = derive_seed(cfg.seed, session_id), data
+/// chain = split(1), feedback chain = split(2) — so the trace predicts
+/// the pool slot exactly.
+ReferenceTrace run_reference_session(const EngineConfig& cfg,
+                                     std::uint64_t session_id,
+                                     std::size_t windows);
+
+}  // namespace espread::engine

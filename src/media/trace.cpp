@@ -63,7 +63,14 @@ TraceGenerator::TraceGenerator(MovieStats stats, std::uint64_t seed)
 
 std::vector<Frame> TraceGenerator::generate(std::size_t num_gops) {
     std::vector<Frame> frames;
-    frames.reserve(num_gops * pattern_.size());
+    generate_into(num_gops, frames);
+    return frames;
+}
+
+void TraceGenerator::generate_into(std::size_t num_gops,
+                                   std::vector<Frame>& out) {
+    out.clear();
+    out.reserve(num_gops * pattern_.size());
     for (std::size_t g = 0; g < num_gops; ++g) {
         for (std::size_t p = 0; p < pattern_.size(); ++p) {
             Frame f;
@@ -76,11 +83,10 @@ std::vector<Frame> TraceGenerator::generate(std::size_t num_gops) {
             if (f.type == FrameType::kP) mean = mean_p_bits_;
             const double bits = rng_.lognormal(lognormal_mu(mean), kSigma);
             f.size_bits = static_cast<std::size_t>(std::max(1.0, bits));
-            frames.push_back(f);
+            out.push_back(f);
         }
         ++next_gop_;
     }
-    return frames;
 }
 
 double TraceGenerator::mean_bitrate_bps() const noexcept {

@@ -52,6 +52,11 @@ public:
     /// sizes.  Repeated calls continue the same clip deterministically.
     std::vector<Frame> generate(std::size_t num_gops);
 
+    /// generate() into a caller-owned buffer (cleared first): no
+    /// allocation once `out` has reached capacity.  Same clip continuation
+    /// semantics.
+    void generate_into(std::size_t num_gops, std::vector<Frame>& out);
+
     /// Mean encoded bit-rate implied by the calibration (bits per second).
     double mean_bitrate_bps() const noexcept;
 

@@ -11,20 +11,26 @@ std::size_t packet_count(std::size_t frame_bits, std::size_t mtu_bits) {
 }
 
 std::vector<std::size_t> fragment_sizes(std::size_t frame_bits, std::size_t mtu_bits) {
-    const std::size_t count = packet_count(frame_bits, mtu_bits);
     std::vector<std::size_t> sizes;
-    sizes.reserve(count);
+    fragment_sizes_into(frame_bits, mtu_bits, sizes);
+    return sizes;
+}
+
+void fragment_sizes_into(std::size_t frame_bits, std::size_t mtu_bits,
+                         std::vector<std::size_t>& out) {
+    const std::size_t count = packet_count(frame_bits, mtu_bits);
+    out.clear();
+    out.reserve(count);
     if (frame_bits == 0) {
-        sizes.push_back(1);
-        return sizes;
+        out.push_back(1);
+        return;
     }
     std::size_t remaining = frame_bits;
     for (std::size_t i = 0; i < count; ++i) {
         const std::size_t take = remaining < mtu_bits ? remaining : mtu_bits;
-        sizes.push_back(take);
+        out.push_back(take);
         remaining -= take;
     }
-    return sizes;
 }
 
 }  // namespace espread::net

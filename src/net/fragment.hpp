@@ -25,4 +25,10 @@ std::size_t packet_count(std::size_t frame_bits, std::size_t mtu_bits);
 /// sum == frame_bits except that a zero-size frame yields one 1-bit packet.
 std::vector<std::size_t> fragment_sizes(std::size_t frame_bits, std::size_t mtu_bits);
 
+/// fragment_sizes() into a caller-owned buffer (cleared first): the
+/// Session hot path reuses one scratch vector per window instead of
+/// allocating a fresh vector per frame.
+void fragment_sizes_into(std::size_t frame_bits, std::size_t mtu_bits,
+                         std::vector<std::size_t>& out);
+
 }  // namespace espread::net

@@ -54,6 +54,27 @@ bool GilbertLoss::drop_next() noexcept {
     return lost;
 }
 
+GilbertLoss::Run GilbertLoss::next_run(std::uint64_t max_packets) noexcept {
+    if (remaining_ == 0) remaining_ = sample_dwell();
+    const double h = state_ == State::kBad ? params_.loss_bad : params_.loss_good;
+    if (h > 0.0 && h < 1.0) {
+        // Non-degenerate emission: each packet needs its own Bernoulli
+        // draw, so the batch degenerates to drop_next() one packet at a
+        // time (same draws, same stream).
+        const bool lost = rng_.bernoulli(h);
+        if (--remaining_ == 0) {
+            state_ = state_ == State::kGood ? State::kBad : State::kGood;
+        }
+        return {1, lost};
+    }
+    const std::uint64_t len = remaining_ < max_packets ? remaining_ : max_packets;
+    remaining_ -= len;
+    if (remaining_ == 0) {
+        state_ = state_ == State::kGood ? State::kBad : State::kGood;
+    }
+    return {len, h >= 1.0};
+}
+
 double GilbertLoss::stationary_loss(const GilbertParams& p) noexcept {
     const double to_bad = 1.0 - p.p_good;
     const double to_good = 1.0 - p.p_bad;

@@ -52,6 +52,22 @@ public:
     /// (i.e. the chain was in BAD while the packet crossed the link).
     bool drop_next() noexcept;
 
+    /// A maximal span of consecutive packets with one shared outcome.
+    struct Run {
+        std::uint64_t length = 0;  ///< packets covered (>= 1)
+        bool lost = false;         ///< outcome of every packet in the span
+    };
+
+    /// Batched sampling for the multi-session engine: advances the chain by
+    /// up to `max_packets` (>= 1) packets that all share one outcome and
+    /// returns the span.  For the classic emission probabilities (the
+    /// per-state drop probability is 0 or 1) this consumes a whole sojourn
+    /// remainder per call; a non-degenerate emission falls back to
+    /// one-packet runs so the per-packet Bernoulli draws are preserved.
+    /// Equivalence contract: consuming runs yields exactly the drop_next()
+    /// stream of the same seeded chain (pinned by test_gilbert).
+    Run next_run(std::uint64_t max_packets) noexcept;
+
     State state() const noexcept { return state_; }
     const GilbertParams& params() const noexcept { return params_; }
 

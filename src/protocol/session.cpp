@@ -217,12 +217,19 @@ struct Session::Impl {
 
     // ---- server side -----------------------------------------------------
 
-    /// Frames of window k, local order.
-    std::vector<media::Frame> take_frames(std::size_t k) {
-        if (mpeg.has_value()) return mpeg->generate(cfg.gops_per_window);
-        const std::size_t n = planner.window_ldus();
-        const auto first = pregen.begin() + static_cast<std::ptrdiff_t>(k * n);
-        return {first, first + static_cast<std::ptrdiff_t>(n)};
+    /// Frames of window k, local order, staged into frames_scratch (no
+    /// allocation once the scratch reached window capacity).
+    const std::vector<media::Frame>& take_frames(std::size_t k) {
+        if (mpeg.has_value()) {
+            mpeg->generate_into(cfg.gops_per_window, frames_scratch);
+        } else {
+            const std::size_t n = planner.window_ldus();
+            const auto first =
+                pregen.begin() + static_cast<std::ptrdiff_t>(k * n);
+            frames_scratch.assign(first,
+                                  first + static_cast<std::ptrdiff_t>(n));
+        }
+        return frames_scratch;
     }
 
     struct FecGroup {
@@ -377,7 +384,7 @@ struct Session::Impl {
     /// Transmits buffer window k (invoked by the event queue at k*T).
     void send_window(std::size_t k) {
         const std::size_t n = planner.window_ldus();
-        const std::vector<media::Frame> frames = take_frames(k);
+        const std::vector<media::Frame>& frames = take_frames(k);
         const std::size_t adaptive_bound = cfg.estimator == EstimatorKind::kEwma
                                                ? estimator.bound()
                                                : sliding.bound();
@@ -402,14 +409,19 @@ struct Session::Impl {
         rep.bound_used = bound;
         if (governor.has_value()) rep.governor_state = governor->state();
 
-        std::vector<std::size_t> layer_sent(plan.layer_sizes.size(), 0);
-        std::vector<bool> sent_local(n, false);
+        // Window-scoped scratch buffers are Impl members so the steady
+        // state reuses their capacity instead of reallocating per window.
+        std::vector<std::size_t>& layer_sent = layer_sent_scratch;
+        layer_sent.assign(plan.layer_sizes.size(), 0);
+        std::vector<bool>& sent_local = sent_local_scratch;
+        sent_local.assign(n, false);
         pending_retx.clear();
 
         // CMT-style predictive shedding: budget the window's bits up front
         // (with a retransmission reserve) and pre-drop the lowest-priority
         // tail of the plan.
-        std::vector<bool> predropped(n, false);
+        std::vector<bool>& predropped = predropped_scratch;
+        predropped.assign(n, false);
         if (cfg.drop_policy == DropPolicy::kPredictive) {
             double budget = sim::to_seconds(cfg.window_duration()) *
                             cfg.data_link.bandwidth_bps *
@@ -422,9 +434,10 @@ struct Session::Impl {
             double acc = 0.0;
             for (const WireEntry& entry : plan.order) {
                 const media::Frame& frame = frames[entry.local_frame];
+                net::fragment_sizes_into(frame.size_bits, cfg.packet_bits,
+                                         frag_sizes_scratch);
                 double bits = 0.0;
-                for (const std::size_t s :
-                     net::fragment_sizes(frame.size_bits, cfg.packet_bits)) {
+                for (const std::size_t s : frag_sizes_scratch) {
                     bits += static_cast<double>(s + kPacketHeaderBits);
                 }
                 if (acc + bits > budget) {
@@ -469,8 +482,9 @@ struct Session::Impl {
                 continue;
             }
 
-            const std::vector<std::size_t> sizes =
-                net::fragment_sizes(frame.size_bits, cfg.packet_bits);
+            net::fragment_sizes_into(frame.size_bits, cfg.packet_bits,
+                                     frag_sizes_scratch);
+            const std::vector<std::size_t>& sizes = frag_sizes_scratch;
             std::size_t total_bits = 0;
             for (const std::size_t s : sizes) total_bits += s + kPacketHeaderBits;
             if (data.next_free_time() + data.serialization_time(total_bits) >
@@ -784,6 +798,14 @@ struct Session::Impl {
 
     std::optional<media::TraceGenerator> mpeg;
     std::vector<media::Frame> pregen;
+
+    // send_window scratch (hoisted: reused capacity, no per-window heap
+    // traffic in steady state; pinned by test_alloc's ratchet).
+    std::vector<media::Frame> frames_scratch;
+    std::vector<std::size_t> layer_sent_scratch;
+    std::vector<bool> sent_local_scratch;
+    std::vector<bool> predropped_scratch;
+    std::vector<std::size_t> frag_sizes_scratch;
 
     std::vector<WindowReport> reports;
     espread::ContinuityMeter meter;

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 #include "sim/stats.hpp"
 
@@ -146,6 +149,43 @@ TEST(GilbertElliott, StationaryLossMixesBothStates) {
     const double pi_bad = 0.1 / 0.6;
     EXPECT_NEAR(GilbertLoss::stationary_loss(params),
                 pi_bad * 0.9 + (1.0 - pi_bad) * 0.01, 1e-12);
+}
+
+// Equivalence contract of the batched sampler: expanding next_run() spans
+// reproduces the drop_next() packet stream of an identically seeded chain,
+// for both classic (degenerate) and Gilbert-Elliott emissions and across
+// arbitrary max_packets caps.
+TEST(GilbertNextRun, ExpandsToDropNextStream) {
+    const GilbertParams cases[] = {
+        {0.92, 0.6, 0.0, 1.0},   // classic: whole-sojourn runs
+        {0.9, 0.5, 0.01, 0.9},   // Gilbert-Elliott: one-packet runs
+        {0.92, 0.7, 0.0, 0.0},   // never loses
+    };
+    for (const GilbertParams& params : cases) {
+        GilbertLoss scalar{params, Rng{99}};
+        GilbertLoss batched{params, Rng{99}};
+        Rng caps{7};
+        constexpr std::size_t kPackets = 5000;
+        std::vector<bool> expected;
+        expected.reserve(kPackets);
+        for (std::size_t i = 0; i < kPackets; ++i) {
+            expected.push_back(scalar.drop_next());
+        }
+        std::vector<bool> got;
+        got.reserve(kPackets);
+        while (got.size() < kPackets) {
+            const std::uint64_t cap =
+                caps.uniform_int(1, kPackets - got.size());
+            const GilbertLoss::Run run = batched.next_run(cap);
+            ASSERT_GE(run.length, 1u);
+            ASSERT_LE(run.length, cap);
+            for (std::uint64_t i = 0; i < run.length; ++i) {
+                got.push_back(run.lost);
+            }
+        }
+        EXPECT_EQ(expected, got) << "p_bad=" << params.p_bad
+                                 << " loss_bad=" << params.loss_bad;
+    }
 }
 
 }  // namespace

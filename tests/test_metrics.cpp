@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
 namespace {
 
 using espread::aggregate_loss_count;
@@ -80,6 +85,44 @@ TEST(ContinuityMeter, TotalsTrackWorstWindowClf) {
     m.add_window({false, true, true, true});
     m.add_window({true, false, false, false});
     EXPECT_EQ(m.total().clf, 3u);
+}
+
+// Property check of the raw-word engine entry points against the scalar
+// metrics: random delivery masks of many sizes, converted to loss-polarity
+// words (set bit = loss, tail clear), must agree with consecutive_loss()
+// and aggregate_loss_count() exactly.
+TEST(RawWordMetrics, MatchScalarMetricsOnRandomMasks) {
+    espread::sim::Rng rng(11);
+    for (const std::size_t n :
+         {std::size_t{1}, std::size_t{24}, std::size_t{63}, std::size_t{64},
+          std::size_t{65}, std::size_t{128}, std::size_t{200}}) {
+        for (int trial = 0; trial < 50; ++trial) {
+            LossMask delivered(n);
+            std::vector<std::uint64_t> loss_words((n + 63) / 64, 0);
+            const double p_loss = rng.uniform();
+            for (std::size_t i = 0; i < n; ++i) {
+                const bool ok = !rng.bernoulli(p_loss);
+                delivered[i] = ok;
+                if (!ok) loss_words[i >> 6] |= std::uint64_t{1} << (i & 63);
+            }
+            EXPECT_EQ(espread::max_set_run(loss_words.data(), loss_words.size()),
+                      consecutive_loss(delivered))
+                << "n=" << n << " trial=" << trial;
+            EXPECT_EQ(
+                espread::count_set_bits(loss_words.data(), loss_words.size()),
+                aggregate_loss_count(delivered))
+                << "n=" << n << " trial=" << trial;
+        }
+    }
+}
+
+TEST(RawWordMetrics, AllSetAndAllClearWords) {
+    const std::vector<std::uint64_t> clear(3, 0);
+    EXPECT_EQ(espread::max_set_run(clear.data(), clear.size()), 0u);
+    EXPECT_EQ(espread::count_set_bits(clear.data(), clear.size()), 0u);
+    const std::vector<std::uint64_t> full(3, ~std::uint64_t{0});
+    EXPECT_EQ(espread::max_set_run(full.data(), full.size()), 192u);
+    EXPECT_EQ(espread::count_set_bits(full.data(), full.size()), 192u);
 }
 
 }  // namespace

@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/interleaver.hpp"
+#include "sim/rng.hpp"
 
 namespace {
 
@@ -91,6 +93,40 @@ TEST(Permutation, Table1StringMatchesPaper) {
     const Permutation p = espread::cyclic_stride_order(17, 5, 0);
     EXPECT_EQ(p.to_string_one_based(),
               "01 06 11 16 04 09 14 02 07 12 17 05 10 15 03 08 13");
+}
+
+// scatter_set_bits (the engine's bit-packed unapply) must place each set
+// transmission bit at its playback index exactly like unapply() does for a
+// bool vector, across word-boundary sizes and random masks.
+TEST(Permutation, ScatterSetBitsMatchesUnapply) {
+    espread::sim::Rng rng(5);
+    for (const std::size_t n :
+         {std::size_t{1}, std::size_t{17}, std::size_t{64}, std::size_t{65},
+          std::size_t{130}}) {
+        // residue_class_order accepts any stride in [1, n] (no coprimality
+        // requirement), so it exercises irregular images at every size.
+        const Permutation p =
+            espread::residue_class_order(n, n > 4 ? 3 : 1);
+        const std::size_t nwords = (n + 63) / 64;
+        for (int trial = 0; trial < 40; ++trial) {
+            std::vector<bool> tx_lost(n);
+            std::vector<std::uint64_t> src(nwords, 0);
+            for (std::size_t i = 0; i < n; ++i) {
+                if (rng.bernoulli(0.3)) {
+                    tx_lost[i] = true;
+                    src[i >> 6] |= std::uint64_t{1} << (i & 63);
+                }
+            }
+            std::vector<std::uint64_t> dst(nwords, 0);
+            p.scatter_set_bits(src.data(), dst.data(), nwords);
+            const std::vector<bool> playback_lost = p.unapply(tx_lost);
+            for (std::size_t i = 0; i < n; ++i) {
+                const bool bit = ((dst[i >> 6] >> (i & 63)) & 1u) != 0;
+                ASSERT_EQ(bit, playback_lost[i])
+                    << "n=" << n << " trial=" << trial << " slot=" << i;
+            }
+        }
+    }
 }
 
 }  // namespace

@@ -594,7 +594,8 @@ LintConfig default_config() {
     cfg.contract_enums = {"EventType",       "Actor",    "GovernorState",
                           "AckRejectReason", "WireType", "FrameType",
                           "Scheme"};
-    cfg.ordered_output_paths = {"src/exp/", "src/obs/", "src/protocol/report"};
+    cfg.ordered_output_paths = {"src/engine/", "src/exp/", "src/obs/",
+                                "src/protocol/report"};
     cfg.library_paths = {"src/"};
     return cfg;
 }
