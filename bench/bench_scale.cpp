@@ -15,6 +15,11 @@
 // X-fold, which CI enforces at 3x.  Results land in BENCH_scale.json
 // (override with --out=FILE); the deterministic "summary" section is
 // byte-identical for any --shards value.
+//
+// --telemetry turns on the per-shard telemetry slabs and emits the epoch
+// snapshot series (TELEMETRY_scale.json, --telemetry-out=FILE) for
+// tools/espread_report; --governor enables governor-lite outage
+// supervision so the dwell histograms carry data.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -46,6 +51,10 @@ struct Args {
     std::size_t compare_sessions = 64;  // 0 disables the Session-loop arm
     double require_speedup = 0.0;       // 0 = report only
     std::string out = "BENCH_scale.json";
+    bool telemetry = false;             // per-shard slabs + epoch snapshots
+    std::size_t telemetry_epoch = 16;   // engine steps per snapshot epoch
+    bool governor = false;              // governor-lite outage supervision
+    std::string telemetry_out = "TELEMETRY_scale.json";
 };
 
 bool parse_size(const char* arg, const char* name, std::size_t* out) {
@@ -75,6 +84,19 @@ Args parse_args(int argc, char** argv) {
         if (parse_double(arg, "--churn-gap=", &a.churn_gap)) continue;
         if (parse_size(arg, "--compare-sessions=", &a.compare_sessions)) continue;
         if (parse_double(arg, "--require-speedup=", &a.require_speedup)) continue;
+        if (std::strcmp(arg, "--telemetry") == 0) {
+            a.telemetry = true;
+            continue;
+        }
+        if (parse_size(arg, "--telemetry-epoch=", &a.telemetry_epoch)) continue;
+        if (std::strcmp(arg, "--governor") == 0) {
+            a.governor = true;
+            continue;
+        }
+        if (std::strncmp(arg, "--telemetry-out=", 16) == 0) {
+            a.telemetry_out = arg + 16;
+            continue;
+        }
         if (std::strncmp(arg, "--out=", 6) == 0) {
             a.out = arg + 6;
             continue;
@@ -92,6 +114,9 @@ EngineConfig engine_config(const Args& a) {
     cfg.churn.min_lifetime_windows = a.churn_min;
     cfg.churn.mean_lifetime_windows = a.churn_mean;
     cfg.churn.mean_arrival_gap_windows = a.churn_gap;
+    cfg.telemetry.enabled = a.telemetry;
+    cfg.telemetry.epoch_steps = a.telemetry_epoch;
+    cfg.governor.enabled = a.governor;
     cfg.seed = 42;
     return cfg;
 }
@@ -204,6 +229,15 @@ int main(int argc, char** argv) {
     json.end_object();
     espread::exp::write_text_file(args.out, json.str());
     std::printf("wrote %s\n", args.out.c_str());
+
+    // With --telemetry the engine captured a snapshot every
+    // --telemetry-epoch steps; emit the series for tools/espread_report.
+    if (engine.telemetry() != nullptr && !engine.telemetry()->empty()) {
+        espread::obs::telemetry::write_snapshot_series(args.telemetry_out,
+                                                       *engine.telemetry());
+        std::printf("wrote %s (%zu epochs)\n", args.telemetry_out.c_str(),
+                    engine.telemetry()->snapshots().size());
+    }
 
     if (args.require_speedup > 0.0 && speedup < args.require_speedup) {
         std::fprintf(stderr,

@@ -1,0 +1,150 @@
+// Telemetry overhead bench: the cost of the fleet telemetry plane.
+//
+// Runs the identical engine workload (Fig. 8 channel, seeded churn) twice
+// — telemetry off, then on (per-shard slabs + epoch snapshots) — and
+// reports the relative windows/sec overhead.  Each arm is repeated and
+// the best run kept, so scheduler noise biases the measurement *against*
+// the telemetry-off arm least; the acceptance budget for the plane is
+// <= 5% and CI can pin it with --max-overhead=X (exits nonzero above X%).
+// Results land in BENCH_telemetry.json (--out=FILE).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "engine/engine.hpp"
+#include "exp/json.hpp"
+
+using espread::engine::EngineConfig;
+using espread::engine::ShardedEngine;
+using espread::exp::JsonWriter;
+
+namespace {
+
+struct Args {
+    std::size_t sessions = 20000;
+    std::size_t windows = 120;       // timed engine steps per run
+    std::size_t warmup = 8;          // untimed steps before measurement
+    std::size_t shards = 0;          // 0 = hardware threads
+    std::size_t repeats = 3;         // best-of-N per arm
+    std::size_t epoch_steps = 16;    // snapshot cadence in the on-arm
+    bool governor = false;           // include governor-lite in both arms
+    double max_overhead = 0.0;       // percent; 0 = report only
+    std::string out = "BENCH_telemetry.json";
+};
+
+bool parse_size(const char* arg, const char* name, std::size_t* out) {
+    const std::size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) != 0) return false;
+    *out = static_cast<std::size_t>(std::strtoull(arg + len, nullptr, 10));
+    return true;
+}
+
+bool parse_double(const char* arg, const char* name, double* out) {
+    const std::size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) != 0) return false;
+    *out = std::strtod(arg + len, nullptr);
+    return true;
+}
+
+Args parse_args(int argc, char** argv) {
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (parse_size(arg, "--sessions=", &a.sessions)) continue;
+        if (parse_size(arg, "--windows=", &a.windows)) continue;
+        if (parse_size(arg, "--warmup=", &a.warmup)) continue;
+        if (parse_size(arg, "--shards=", &a.shards)) continue;
+        if (parse_size(arg, "--repeats=", &a.repeats)) continue;
+        if (parse_size(arg, "--epoch-steps=", &a.epoch_steps)) continue;
+        if (parse_double(arg, "--max-overhead=", &a.max_overhead)) continue;
+        if (std::strcmp(arg, "--governor") == 0) {
+            a.governor = true;
+            continue;
+        }
+        if (std::strncmp(arg, "--out=", 6) == 0) {
+            a.out = arg + 6;
+            continue;
+        }
+        std::fprintf(stderr, "bench_telemetry: unknown argument %s\n", arg);
+    }
+    return a;
+}
+
+EngineConfig engine_config(const Args& a, bool telemetry) {
+    EngineConfig cfg;  // Fig. 8 channel + window defaults
+    cfg.sessions = a.sessions;
+    cfg.shards = a.shards;
+    cfg.churn.enabled = true;
+    cfg.governor.enabled = a.governor;
+    cfg.telemetry.enabled = telemetry;
+    cfg.telemetry.epoch_steps = a.epoch_steps;
+    cfg.seed = 42;
+    return cfg;
+}
+
+/// One timed run: windows simulated per wall second after warmup.
+double run_arm(const EngineConfig& cfg, std::size_t warmup,
+               std::size_t windows) {
+    using clock = std::chrono::steady_clock;
+    ShardedEngine engine(cfg);
+    engine.run(warmup);
+    const std::uint64_t before = engine.summary().windows;
+    const auto t0 = clock::now();
+    engine.run(windows);
+    const double wall =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    const std::uint64_t after = engine.summary().windows;
+    return wall > 0.0 ? static_cast<double>(after - before) / wall : 0.0;
+}
+
+double best_of(const EngineConfig& cfg, const Args& a) {
+    double best = 0.0;
+    for (std::size_t r = 0; r < std::max<std::size_t>(a.repeats, 1); ++r) {
+        best = std::max(best, run_arm(cfg, a.warmup, a.windows));
+    }
+    return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Args args = parse_args(argc, argv);
+    std::printf("== bench_telemetry: %zu sessions x %zu windows, best of %zu ==\n",
+                args.sessions, args.windows, args.repeats);
+
+    const double wps_off = best_of(engine_config(args, false), args);
+    const double wps_on = best_of(engine_config(args, true), args);
+    const double overhead_pct =
+        wps_off > 0.0 ? 100.0 * (wps_off - wps_on) / wps_off : 0.0;
+
+    std::printf("telemetry off: %.0f windows/sec\n", wps_off);
+    std::printf("telemetry on:  %.0f windows/sec (epoch every %zu steps)\n",
+                wps_on, args.epoch_steps);
+    std::printf("overhead: %.2f%%\n", overhead_pct);
+
+    JsonWriter json;
+    json.begin_object();
+    json.key("bench").value("telemetry");
+    json.key("sessions").value(static_cast<std::uint64_t>(args.sessions));
+    json.key("timed_steps").value(static_cast<std::uint64_t>(args.windows));
+    json.key("repeats").value(static_cast<std::uint64_t>(args.repeats));
+    json.key("epoch_steps").value(static_cast<std::uint64_t>(args.epoch_steps));
+    json.key("governor").value(args.governor);
+    json.key("windows_per_second_off").value(wps_off);
+    json.key("windows_per_second_on").value(wps_on);
+    json.key("overhead_percent").value(overhead_pct);
+    json.end_object();
+    espread::exp::write_text_file(args.out, json.str());
+    std::printf("wrote %s\n", args.out.c_str());
+
+    if (args.max_overhead > 0.0 && overhead_pct > args.max_overhead) {
+        std::fprintf(stderr,
+                     "bench_telemetry: overhead %.2f%% above budget %.2f%%\n",
+                     overhead_pct, args.max_overhead);
+        return EXIT_FAILURE;
+    }
+    return EXIT_SUCCESS;
+}

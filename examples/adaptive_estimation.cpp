@@ -86,6 +86,7 @@ public:
             case EventType::kReordered:
             case EventType::kDupDropped:
             case EventType::kStaleDropped:
+            case EventType::kSloHealth:
                 break;
         }
     }

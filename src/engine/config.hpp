@@ -31,6 +31,36 @@ struct ChurnConfig {
     double mean_arrival_gap_windows = 0.0;   ///< mean idle windows per slot
 };
 
+/// Fleet telemetry plane (src/obs/telemetry).  When enabled the engine
+/// gives every shard a TelemetrySlab and folds all slabs into an
+/// immutable FleetSnapshot every `epoch_steps` engine steps.  Disabled
+/// (the default) the hot path pays exactly one null-check per
+/// instrumentation site and the step loop stays allocation-free (pinned
+/// by test_alloc).
+struct TelemetryConfig {
+    bool enabled = false;
+    std::size_t epoch_steps = 64;  ///< engine steps per snapshot epoch
+};
+
+/// Per-slot "governor-lite" supervision of the Eq. 1 feedback loop — the
+/// SoA pool's counterpart of proto::AdaptationGovernor, reduced to what
+/// fits a branch-light hot path: a missed-feedback watchdog driving
+/// Normal -> Degraded -> Fallback -> Recovering -> Normal.  Degraded
+/// decays the estimate toward the no-feedback prior (n/2); Fallback pins
+/// it there; Recovering slew-limits the published bound by `max_step`
+/// per window until `recovery_windows` consecutive feedback windows
+/// restore Normal.  No hysteresis, outlier guard or backoff (those live
+/// in the protocol governor).  Disabled (the default) the engine's
+/// numbers are byte-identical to an unsupervised run.
+struct GovernorLiteConfig {
+    bool enabled = false;
+    std::uint32_t miss_budget = 3;      ///< misses before Normal -> Degraded
+    double outage_decay = 0.5;          ///< estimate fraction kept per Degraded miss
+    std::uint32_t fallback_budget = 3;  ///< Degraded misses before Fallback
+    std::size_t max_step = 4;           ///< Recovering bound slew per window
+    std::uint32_t recovery_windows = 4; ///< feedback windows to re-enter Normal
+};
+
 /// Full parameterization of a ShardedEngine run.  Defaults reproduce the
 /// Fig. 8 setup: 24-LDU windows, two packets per LDU, Gilbert(0.92, 0.6)
 /// on both the data and feedback paths, alpha = 1/2, feedback applied two
@@ -50,6 +80,8 @@ struct EngineConfig {
     net::GilbertParams feedback_loss{};  ///< client -> server ACK channel
 
     ChurnConfig churn{};
+    TelemetryConfig telemetry{};
+    GovernorLiteConfig governor{};
 
     /// When set, summarize() also fills an obs::MetricsRegistry with
     /// engine/* counters and histograms (integer-valued, so the rendered
@@ -82,6 +114,25 @@ struct EngineConfig {
         if (churn.enabled && churn.min_lifetime_windows == 0) {
             throw std::invalid_argument(
                 "EngineConfig: churn.min_lifetime_windows must be >= 1");
+        }
+        if (telemetry.enabled && telemetry.epoch_steps == 0) {
+            throw std::invalid_argument(
+                "EngineConfig: telemetry.epoch_steps must be >= 1");
+        }
+        if (governor.enabled) {
+            if (governor.miss_budget == 0 || governor.fallback_budget == 0 ||
+                governor.recovery_windows == 0) {
+                throw std::invalid_argument(
+                    "EngineConfig: governor budgets must be >= 1");
+            }
+            if (!(governor.outage_decay >= 0.0 && governor.outage_decay <= 1.0)) {
+                throw std::invalid_argument(
+                    "EngineConfig: governor.outage_decay must be in [0, 1]");
+            }
+            if (governor.max_step == 0) {
+                throw std::invalid_argument(
+                    "EngineConfig: governor.max_step must be >= 1");
+            }
         }
         const auto prob = [](double p) { return p >= 0.0 && p <= 1.0; };
         for (const net::GilbertParams& g : {data_loss, feedback_loss}) {

@@ -28,21 +28,35 @@ ShardedEngine::ShardedEngine(const EngineConfig& cfg)
         begin += len;
     }
     for (ShardScratch& s : scratch_) pool_.init_scratch(s);
+    if (cfg_.telemetry.enabled) {
+        slabs_.resize(shards);
+        for (std::size_t s = 0; s < shards; ++s) {
+            scratch_[s].telemetry = &slabs_[s];
+        }
+        registry_ = std::make_unique<obs::telemetry::SnapshotRegistry>(
+            cfg_.telemetry.epoch_steps);
+    }
     if (shards > 1) workers_ = std::make_unique<exp::ThreadPool>(shards);
 }
 
 void ShardedEngine::step() {
     if (!workers_) {
         pool_.run_window_range(ranges_[0].first, ranges_[0].second, scratch_[0]);
-        return;
+    } else {
+        for (std::size_t s = 0; s < scratch_.size(); ++s) {
+            workers_->submit([this, s] {
+                pool_.run_window_range(ranges_[s].first, ranges_[s].second,
+                                       scratch_[s]);
+            });
+        }
+        workers_->wait_idle();
     }
-    for (std::size_t s = 0; s < scratch_.size(); ++s) {
-        workers_->submit([this, s] {
-            pool_.run_window_range(ranges_[s].first, ranges_[s].second,
-                                   scratch_[s]);
-        });
+    ++steps_;
+    // Epoch boundary: every shard is idle here, so the fold reads the
+    // slabs race-free and in shard index order.
+    if (registry_ && registry_->due(steps_)) {
+        registry_->capture(steps_, slabs_.data(), slabs_.size());
     }
-    workers_->wait_idle();
 }
 
 void ShardedEngine::run(std::size_t windows) {
@@ -76,10 +90,18 @@ void append_summary(exp::JsonWriter& json, const EngineSummary& s) {
     json.key("clf_mean").value(s.clf_mean);
     json.key("clf_dev").value(s.clf_dev);
     json.key("clf_max").value(s.clf_max);
+    json.key("clf_p50").value(static_cast<std::int64_t>(s.clf_histogram.quantile(0.50)));
+    json.key("clf_p90").value(static_cast<std::int64_t>(s.clf_histogram.quantile(0.90)));
+    json.key("clf_p99").value(static_cast<std::int64_t>(s.clf_histogram.quantile(0.99)));
+    json.key("clf_p999").value(static_cast<std::int64_t>(s.clf_histogram.quantile(0.999)));
     json.key("acks_delivered").value(s.acks_delivered);
     json.key("acks_lost").value(s.acks_lost);
     json.key("sessions_spawned").value(s.sessions_spawned);
     json.key("sessions_completed").value(s.sessions_completed);
+    json.key("governor_windows").begin_array();
+    for (std::size_t st = 0; st < 4; ++st) json.value(s.governor_windows[st]);
+    json.end_array();
+    json.key("governor_transitions").value(s.governor_transitions);
     json.key("clf_histogram");
     append_histogram(json, s.clf_histogram);
     json.key("bound_histogram");

@@ -18,6 +18,7 @@
 #include "engine/config.hpp"
 #include "engine/pool.hpp"
 #include "exp/thread_pool.hpp"
+#include "obs/telemetry/snapshot.hpp"
 
 namespace espread::exp {
 class JsonWriter;
@@ -45,6 +46,17 @@ public:
     /// step() `windows` times.
     void run(std::size_t windows);
 
+    /// Steps completed so far (the telemetry plane's epoch clock).
+    std::uint64_t steps() const noexcept { return steps_; }
+
+    /// The fleet snapshot series, or null when cfg.telemetry is off.
+    /// Snapshots are captured between steps — after every
+    /// cfg.telemetry.epoch_steps-th step, when all shards are idle — so
+    /// the series is byte-identical across shard counts.
+    const obs::telemetry::SnapshotRegistry* telemetry() const noexcept {
+        return registry_.get();
+    }
+
     /// Deterministic summary of everything run so far.
     EngineSummary summary() const { return pool_.summarize(scratch_); }
 
@@ -56,6 +68,11 @@ private:
     std::vector<ShardScratch> scratch_;                      // one per shard
     std::vector<std::pair<std::size_t, std::size_t>> ranges_; // slot ranges
     std::unique_ptr<exp::ThreadPool> workers_;  // null when single shard
+
+    // Telemetry plane (empty / null when cfg.telemetry is off).
+    std::vector<obs::telemetry::TelemetrySlab> slabs_;  // one per shard
+    std::unique_ptr<obs::telemetry::SnapshotRegistry> registry_;
+    std::uint64_t steps_ = 0;
 };
 
 /// Appends the summary as one JSON object (scalars, histograms, and the

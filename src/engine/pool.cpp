@@ -1,6 +1,7 @@
 #include "engine/pool.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 
@@ -35,6 +36,40 @@ void set_bits(std::uint64_t* w, std::size_t lo, std::size_t hi) noexcept {
 std::uint32_t clamp_u32(std::uint64_t v) noexcept {
     constexpr std::uint64_t kMax = std::numeric_limits<std::uint32_t>::max();
     return static_cast<std::uint32_t>(v < kMax ? v : kMax);
+}
+
+/// Feeds every maximal run of set bits (consecutive lost LDUs in the
+/// scanned order) to the telemetry slab, word at a time, with runs
+/// crossing word boundaries intact.  Bits past the window are zero by
+/// construction, so runs terminate correctly at the tail.
+void record_loss_runs(const std::uint64_t* w, std::size_t words,
+                      obs::telemetry::TelemetrySlab* slab) noexcept {
+    std::uint64_t run = 0;
+    for (std::size_t i = 0; i < words; ++i) {
+        std::uint64_t word = w[i];
+        unsigned remaining = 64;
+        while (remaining > 0) {
+            if ((word & 1U) != 0) {
+                unsigned ones = static_cast<unsigned>(std::countr_one(word));
+                if (ones > remaining) ones = remaining;
+                run += ones;
+                word = ones >= 64 ? 0 : word >> ones;
+                remaining -= ones;
+            } else {
+                unsigned zeros =
+                    word == 0 ? remaining
+                              : static_cast<unsigned>(std::countr_zero(word));
+                if (zeros > remaining) zeros = remaining;
+                if (slab != nullptr && run > 0) {
+                    slab->observe_loss_run(run);
+                }
+                run = 0;
+                word = zeros >= 64 ? 0 : word >> zeros;
+                remaining -= zeros;
+            }
+        }
+    }
+    if (slab != nullptr && run > 0) slab->observe_loss_run(run);
 }
 
 }  // namespace
@@ -72,6 +107,11 @@ SessionPool::SessionPool(const EngineConfig& cfg) : cfg_(cfg) {
     tot_spawned_.assign(capacity_, 0);
     tot_completed_.assign(capacity_, 0);
     max_clf_.assign(capacity_, 0);
+    if (cfg_.governor.enabled) {
+        gov_.assign(capacity_, GovernorLiteState{});
+        tot_state_windows_.assign(capacity_ * 4, 0);
+        tot_transitions_.assign(capacity_, 0);
+    }
 
     // spawn() assigns into the chain slots, so generation 0 first fills
     // the vectors with placeholder chains (replaced immediately).
@@ -123,6 +163,14 @@ void SessionPool::spawn(std::size_t slot) {
         lifetime_left_[slot] = 0;
         gap_next_[slot] = 0;
     }
+    if (cfg_.governor.enabled) {
+        // Fresh session, fresh supervision: Normal with the prior's bound
+        // as the slew reference (the in-progress dwell of a departing
+        // session ends unrecorded — only completed visits are observed).
+        gov_[slot] = GovernorLiteState{};
+        gov_[slot].published = static_cast<std::uint32_t>(
+            BurstEstimator::bound_for(estimate_[slot], n_));
+    }
     ++tot_spawned_[slot];
 }
 
@@ -138,16 +186,20 @@ void SessionPool::run_window_range(std::size_t begin, std::size_t end,
                                    ShardScratch& s) noexcept {
     const std::size_t D = cfg_.feedback_delay_windows;
     const std::size_t packets = n_ * f_;
+    const bool governed = cfg_.governor.enabled;
     std::uint64_t* tx = s.tx_words.data();
     std::uint64_t* pb = s.pb_words.data();
+    obs::telemetry::TelemetrySlab* const tel = s.telemetry;
     for (std::size_t slot = begin; slot < end; ++slot) {
         if (idle_left_[slot] > 0) {
             // Churn gap: the slot carries no session this window.  The
             // arriving session's first window runs on the next step.
             ++s.idle_windows;
+            if (tel != nullptr) tel->observe_idle();
             if (--idle_left_[slot] == 0) {
                 ++generation_[slot];
                 spawn(slot);
+                if (tel != nullptr) tel->observe_spawn();
             }
             continue;
         }
@@ -156,12 +208,31 @@ void SessionPool::run_window_range(std::size_t begin, std::size_t end,
         //    Eq. 1 observation shaping this window (Fig. 6 pipeline).
         const std::uint32_t w = windows_run_[slot];
         std::uint32_t& cell = pending_[slot * D + (w % D)];
-        if (cell != kNoObs) {
+        const bool fed = cell != kNoObs;
+        if (fed) {
             estimate_[slot] = cfg_.alpha * static_cast<double>(cell) +
                               (1.0 - cfg_.alpha) * estimate_[slot];
             cell = kNoObs;
         }
-        const std::size_t bound = BurstEstimator::bound_for(estimate_[slot], n_);
+        std::size_t bound;
+        std::uint8_t gov_state = kGovNormal;
+        if (governed) {
+            // Governor-lite supervision: the watchdog arms once feedback
+            // could have arrived (w >= D); the published bound may be
+            // decayed, pinned to the prior or slew-limited by state.
+            const GovernorLiteOutcome o = governor_lite_step(
+                gov_[slot], cfg_.governor, static_cast<std::size_t>(w) >= D,
+                fed, estimate_[slot], n_);
+            bound = o.bound;
+            gov_state = gov_[slot].state;
+            ++tot_state_windows_[slot * 4 + gov_state];
+            if (o.transitioned) {
+                ++tot_transitions_[slot];
+                if (tel != nullptr) tel->observe_governor_exit(o.exit_dwell);
+            }
+        } else {
+            bound = BurstEstimator::bound_for(estimate_[slot], n_);
+        }
 
         // 2. Channel: batched Gilbert runs -> lost-LDU bit ranges in
         //    transmission order (an LDU is lost if any of its packets is).
@@ -198,12 +269,14 @@ void SessionPool::run_window_range(std::size_t begin, std::size_t end,
 
         // 4. The client ACKs its transmission-order burst observation
         //    across the (lossy) feedback channel.
-        if (feedback_chain_[slot].drop_next()) {
+        const bool ack_lost = feedback_chain_[slot].drop_next();
+        if (ack_lost) {
             ++tot_acks_lost_[slot];
         } else {
             pending_[slot * D + (w % D)] = static_cast<std::uint32_t>(obs);
             ++tot_acks_ok_[slot];
         }
+        if (tel != nullptr) tel->observe_ack(!ack_lost);
 
         // 5. Integer accumulators (grouping-independent merge).
         ++tot_windows_[slot];
@@ -215,16 +288,26 @@ void SessionPool::run_window_range(std::size_t begin, std::size_t end,
         ++s.clf_hist[clf];
         ++s.bound_hist[bound];
         windows_run_[slot] = w + 1;
+        if (tel != nullptr) {
+            tel->observe_window(static_cast<std::uint64_t>(clf),
+                                static_cast<std::uint64_t>(bound),
+                                static_cast<std::uint64_t>(losses), gov_state);
+            if (any_loss) {
+                record_loss_runs(cfg_.spread ? pb : tx, words_, tel);
+            }
+        }
 
         // 6. Churn: departure, then either an idle gap or an immediate
         //    respawn with a fresh RNG stream (new session id).
         if (lifetime_left_[slot] > 0 && --lifetime_left_[slot] == 0) {
             ++tot_completed_[slot];
+            if (tel != nullptr) tel->observe_complete();
             if (gap_next_[slot] > 0) {
                 idle_left_[slot] = gap_next_[slot];
             } else {
                 ++generation_[slot];
                 spawn(slot);
+                if (tel != nullptr) tel->observe_spawn();
             }
         }
     }
@@ -243,6 +326,18 @@ EngineSummary SessionPool::summarize(
         out.sessions_spawned += tot_spawned_[slot];
         out.sessions_completed += tot_completed_[slot];
         out.clf_max = std::max<std::uint64_t>(out.clf_max, max_clf_[slot]);
+    }
+    if (cfg_.governor.enabled) {
+        for (std::size_t slot = 0; slot < capacity_; ++slot) {
+            for (std::size_t st = 0; st < 4; ++st) {
+                out.governor_windows[st] += tot_state_windows_[slot * 4 + st];
+            }
+            out.governor_transitions += tot_transitions_[slot];
+        }
+    } else {
+        // Unsupervised sessions run entirely in Normal; deriving the
+        // occupancy here keeps the hot path free of governor writes.
+        out.governor_windows[0] = out.windows;
     }
     out.slots = out.windows * static_cast<std::uint64_t>(n_);
     std::uint64_t clf_sum = 0;
@@ -284,6 +379,18 @@ EngineSummary SessionPool::summarize(
         out.metrics.add_counter("engine/sessions_completed",
                                 out.sessions_completed);
         out.metrics.add_counter("engine/idle_windows", out.idle_windows);
+        if (cfg_.governor.enabled) {
+            out.metrics.add_counter("engine/governor_windows_normal",
+                                    out.governor_windows[0]);
+            out.metrics.add_counter("engine/governor_windows_degraded",
+                                    out.governor_windows[1]);
+            out.metrics.add_counter("engine/governor_windows_fallback",
+                                    out.governor_windows[2]);
+            out.metrics.add_counter("engine/governor_windows_recovering",
+                                    out.governor_windows[3]);
+            out.metrics.add_counter("engine/governor_transitions",
+                                    out.governor_transitions);
+        }
         out.metrics.histogram("engine/window_clf").merge(out.clf_histogram);
         out.metrics.histogram("engine/bound_used").merge(out.bound_histogram);
     }

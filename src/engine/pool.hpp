@@ -21,8 +21,10 @@
 
 #include "core/permutation.hpp"
 #include "engine/config.hpp"
+#include "engine/governor_lite.hpp"
 #include "net/gilbert.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry/slab.hpp"
 #include "sim/stats.hpp"
 
 namespace espread::engine {
@@ -37,6 +39,10 @@ struct ShardScratch {
     std::vector<std::uint64_t> clf_hist;   ///< bin v = windows with CLF == v
     std::vector<std::uint64_t> bound_hist; ///< bin b = windows sent with bound b
     std::uint64_t idle_windows = 0;        ///< slot-windows spent unoccupied
+    /// Telemetry plane sink for this shard; null when telemetry is off.
+    /// Every use in the hot path is null-gated (one predictable branch),
+    /// so the disabled step loop stays allocation-free and unperturbed.
+    obs::telemetry::TelemetrySlab* telemetry = nullptr;
 };
 
 /// Everything summarize() derives from the arenas.  Doubles are computed
@@ -57,6 +63,11 @@ struct EngineSummary {
     std::uint64_t acks_lost = 0;       ///< feedback packets dropped
     std::uint64_t sessions_spawned = 0;
     std::uint64_t sessions_completed = 0;
+    /// Windows run under each governor-lite state (all in [0] = Normal
+    /// when supervision is off).  Reconciles with the telemetry plane's
+    /// TelemetryCounters::governor_windows (pinned by test_telemetry).
+    std::uint64_t governor_windows[4] = {0, 0, 0, 0};
+    std::uint64_t governor_transitions = 0;  ///< governor-lite state changes
     sim::Histogram clf_histogram;      ///< per-window CLF distribution
     sim::Histogram bound_histogram;    ///< Eq. 1 bound usage distribution
     obs::MetricsRegistry metrics;      ///< filled when collect_metrics
@@ -138,6 +149,12 @@ private:
     std::vector<std::uint64_t> tot_spawned_;
     std::vector<std::uint64_t> tot_completed_;
     std::vector<std::uint32_t> max_clf_;
+
+    // Governor-lite supervision (sized only when cfg_.governor.enabled,
+    // so an unsupervised pool pays nothing).
+    std::vector<GovernorLiteState> gov_;
+    std::vector<std::uint64_t> tot_state_windows_;  ///< capacity * 4
+    std::vector<std::uint64_t> tot_transitions_;
 };
 
 }  // namespace espread::engine

@@ -6,6 +6,7 @@
 #include "core/estimator.hpp"
 #include "core/metrics.hpp"
 #include "core/permutation.hpp"
+#include "engine/governor_lite.hpp"
 #include "net/gilbert.hpp"
 #include "sim/rng.hpp"
 
@@ -22,18 +23,36 @@ ReferenceTrace run_reference_session(const EngineConfig& cfg,
     sim::Rng root(sim::derive_seed(cfg.seed, session_id));
     net::GilbertLoss data(cfg.data_loss, root.split(1));
     net::GilbertLoss feedback(cfg.feedback_loss, root.split(2));
-    BurstEstimator estimator(n, cfg.alpha);
+    // Plain-double Eq. 1 state, written with the exact expressions the
+    // pool uses (identical to BurstEstimator::update), so governed and
+    // ungoverned traces both predict the SoA slot bit-for-bit.
+    double estimate = static_cast<double>(n) / 2.0;
+    GovernorLiteState gov;
+    gov.published =
+        static_cast<std::uint32_t>(BurstEstimator::bound_for(estimate, n));
     std::vector<std::optional<std::size_t>> pending(D);
 
     ReferenceTrace trace;
     trace.window_clf.reserve(windows);
     trace.window_bound.reserve(windows);
+    trace.window_state.reserve(windows);
     for (std::size_t w = 0; w < windows; ++w) {
-        if (pending[w % D]) {
-            estimator.update(*pending[w % D]);
+        const bool fed = pending[w % D].has_value();
+        if (fed) {
+            estimate = cfg.alpha * static_cast<double>(*pending[w % D]) +
+                       (1.0 - cfg.alpha) * estimate;
             pending[w % D].reset();
         }
-        const std::size_t bound = estimator.bound();
+        std::size_t bound;
+        if (cfg.governor.enabled) {
+            const GovernorLiteOutcome o =
+                governor_lite_step(gov, cfg.governor, w >= D, fed, estimate, n);
+            bound = o.bound;
+            if (o.transitioned) ++trace.governor_transitions;
+        } else {
+            bound = BurstEstimator::bound_for(estimate, n);
+        }
+        trace.window_state.push_back(gov.state);
 
         // One drop_next per packet; an LDU is lost if any packet is.
         LossMask tx_delivered(n, true);

@@ -20,9 +20,13 @@ namespace espread::engine {
 struct ReferenceTrace {
     std::vector<std::size_t> window_clf;    ///< playback-order CLF per window
     std::vector<std::size_t> window_bound;  ///< Eq. 1 bound used per window
+    /// Governor-lite state each window ran under (kGovNormal throughout
+    /// when cfg.governor is off) — pins the pool's supervised loop.
+    std::vector<std::uint8_t> window_state;
     std::uint64_t unit_losses = 0;
     std::uint64_t acks_delivered = 0;
     std::uint64_t acks_lost = 0;
+    std::uint64_t governor_transitions = 0;
 };
 
 /// Runs `windows` buffer windows of the session identified by

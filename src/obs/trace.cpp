@@ -28,6 +28,7 @@ const char* event_name(EventType t) noexcept {
         case EventType::kGovernorState: return "GovernorState";
         case EventType::kGovernorAckReject: return "GovernorAckReject";
         case EventType::kGovernorClamp: return "GovernorClamp";
+        case EventType::kSloHealth: return "SloHealth";
     }
     return "Unknown";
 }

@@ -50,6 +50,7 @@ enum class EventType {
     kGovernorState,     ///< server: arg = new proto::GovernorState, v0 = old state, v1 = consecutive missed feedback windows
     kGovernorAckReject, ///< server: seq = ACK seq, arg = proto::AckRejectReason, v0 = ACK's window
     kGovernorClamp,     ///< server: arg = raw observation, v0 = clamped observation, v1 = bound before the update
+    kSloHealth,         ///< fleet: window = epoch, seq = objective index, arg = new telemetry::SloHealth, v0/v1 = fast/slow burn rate
 };
 
 /// Which simulated component emitted the event (one trace track each).

@@ -66,6 +66,8 @@ void AdaptationGovernor::enter_state(GovernorState next, std::size_t window,
     const GovernorState old = state_;
     state_ = next;
     ++report_.transitions;
+    ++report_.state_entries[static_cast<std::size_t>(next)];
+    current_dwell_ = 0;
     if (next == GovernorState::kFallback) ++report_.fallbacks;
     if (next == GovernorState::kRecovering) ++report_.recoveries;
     if (trace_ != nullptr) {
@@ -91,7 +93,13 @@ std::size_t AdaptationGovernor::on_window_start(std::size_t k,
         published_ = estimator_.bound();
         candidate_bound_ = published_;
         candidate_streak_ = 0;
+        // The window clock starting is the first (Normal) visit beginning.
+        ++report_.state_entries[static_cast<std::size_t>(state_)];
         ++report_.windows_in_state[static_cast<std::size_t>(state_)];
+        ++current_dwell_;
+        report_.longest_dwell[static_cast<std::size_t>(state_)] = std::max(
+            report_.longest_dwell[static_cast<std::size_t>(state_)],
+            current_dwell_);
         return published_;
     }
 
@@ -209,6 +217,10 @@ std::size_t AdaptationGovernor::on_window_start(std::size_t k,
     }
 
     ++report_.windows_in_state[static_cast<std::size_t>(state_)];
+    ++current_dwell_;
+    report_.longest_dwell[static_cast<std::size_t>(state_)] =
+        std::max(report_.longest_dwell[static_cast<std::size_t>(state_)],
+                 current_dwell_);
     return published_;
 }
 

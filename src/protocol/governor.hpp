@@ -117,6 +117,13 @@ struct GovernorConfig {
 struct GovernorReport {
     /// Buffer windows spent in each state, indexed by GovernorState.
     std::size_t windows_in_state[4] = {0, 0, 0, 0};
+    /// Visits begun in each state (the initial Normal counts as the first
+    /// visit once the window clock starts).  Invariant after
+    /// on_window_start(0): sum(state_entries) == transitions + 1.
+    std::size_t state_entries[4] = {0, 0, 0, 0};
+    /// Longest single visit to each state, in windows (eagerly maxed, so
+    /// it includes the still-open current visit).
+    std::size_t longest_dwell[4] = {0, 0, 0, 0};
     std::size_t acks_rejected_duplicate = 0;
     std::size_t acks_rejected_stale = 0;
     std::size_t acks_rejected_future = 0;
@@ -193,6 +200,7 @@ private:
     std::size_t candidate_streak_ = 0;    ///< windows the candidate persisted
     std::size_t recovery_left_ = 0;       ///< Recovering windows remaining
     std::size_t rearm_windows_ = 0;       ///< current re-arming requirement
+    std::size_t current_dwell_ = 0;       ///< windows in the current visit
     GovernorReport report_;
 };
 

@@ -62,11 +62,18 @@ void write_event_csv_file(const std::string& path,
 std::string summarize(const SessionResult& result) {
     const sim::RunningStats s = result.clf_stats();
     const sim::RunningStats p = result.playout_clf_stats();
+    // Quantiles come from an exact integer histogram of the per-window
+    // CLFs (sim::Histogram::quantile), not from re-sorting the series.
+    sim::Histogram clf_hist;
+    for (const WindowReport& w : result.windows) {
+        clf_hist.add(static_cast<std::int64_t>(w.clf));
+    }
     std::ostringstream out;
     out << result.windows.size() << " windows: CLF mean "
         << sim::format_fixed(s.mean(), 2) << " dev "
         << sim::format_fixed(s.deviation(), 2) << " max "
-        << sim::format_fixed(s.max(), 0) << "; playout CLF mean "
+        << sim::format_fixed(s.max(), 0) << " p50 " << clf_hist.quantile(0.50)
+        << " p99 " << clf_hist.quantile(0.99) << "; playout CLF mean "
         << sim::format_fixed(p.mean(), 2) << "; ALF "
         << sim::format_fixed(result.total.alf, 3) << "; packets "
         << result.data_channel.sent << " sent / " << result.data_channel.dropped
@@ -84,7 +91,11 @@ std::string summarize(const SessionResult& result) {
     if (governed_windows > 0) {
         out << "; governor N/D/F/R " << g.windows_in_state[0] << "/"
             << g.windows_in_state[1] << "/" << g.windows_in_state[2] << "/"
-            << g.windows_in_state[3] << ", ACKs rejected " << g.acks_rejected()
+            << g.windows_in_state[3] << ", visits " << g.state_entries[0]
+            << "/" << g.state_entries[1] << "/" << g.state_entries[2] << "/"
+            << g.state_entries[3] << ", longest dwell " << g.longest_dwell[0]
+            << "/" << g.longest_dwell[1] << "/" << g.longest_dwell[2] << "/"
+            << g.longest_dwell[3] << ", ACKs rejected " << g.acks_rejected()
             << ", clamped " << g.observations_clamped << ", fallbacks "
             << g.fallbacks;
     }

@@ -773,6 +773,17 @@ struct Session::Impl {
             m.add_counter("governor_fallbacks", g.fallbacks);
             m.add_counter("governor_recoveries", g.recoveries);
             m.add_counter("governor_transitions", g.transitions);
+            m.add_counter("governor_entries_normal", g.state_entries[0]);
+            m.add_counter("governor_entries_degraded", g.state_entries[1]);
+            m.add_counter("governor_entries_fallback", g.state_entries[2]);
+            m.add_counter("governor_entries_recovering", g.state_entries[3]);
+            m.add_counter("governor_longest_dwell_normal", g.longest_dwell[0]);
+            m.add_counter("governor_longest_dwell_degraded",
+                          g.longest_dwell[1]);
+            m.add_counter("governor_longest_dwell_fallback",
+                          g.longest_dwell[2]);
+            m.add_counter("governor_longest_dwell_recovering",
+                          g.longest_dwell[3]);
             // Per-window governed bound and supervision state; bound_used
             // in the per-window reports carries the same bound per window.
             sim::Histogram& governed = m.histogram("governor_bound");

@@ -96,6 +96,22 @@ std::int64_t Histogram::max() const noexcept {
     return bins_.empty() ? 0 : bins_.rbegin()->first;
 }
 
+std::int64_t Histogram::quantile(double q) const noexcept {
+    if (total_ == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    std::size_t rank =
+        static_cast<std::size_t>(std::ceil(q * static_cast<double>(total_)));
+    if (rank == 0) rank = 1;
+    if (rank > total_) rank = total_;
+    std::size_t cum = 0;
+    for (const auto& [value, count] : bins_) {
+        cum += count;
+        if (cum >= rank) return value;
+    }
+    return bins_.rbegin()->first;
+}
+
 double Histogram::mean() const noexcept {
     if (total_ == 0) return 0.0;
     double sum = 0.0;

@@ -84,6 +84,11 @@ public:
     std::int64_t min() const noexcept;
     std::int64_t max() const noexcept;
     double mean() const noexcept;
+    /// Nearest-rank quantile: the smallest binned value whose cumulative
+    /// count reaches ceil(q * total).  Exact — bins hold exact values,
+    /// not ranges.  q outside [0, 1] is clamped; 0 if no observations.
+    /// Monotone in q; quantile(0) == min(), quantile(1) == max().
+    std::int64_t quantile(double q) const noexcept;
     const std::map<std::int64_t, std::size_t>& bins() const noexcept { return bins_; }
 
 private:

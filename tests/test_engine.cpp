@@ -221,6 +221,68 @@ TEST(Engine, SpreadLowersMeanClfUnderSameChannel) {
     EXPECT_LT(ss.clf_mean, si.clf_mean);
 }
 
+// Governor-lite supervision is part of the determinism contract too:
+// with heavy feedback loss forcing outage excursions, the supervised
+// pool must still match the scalar reference window for window — same
+// totals, same per-state occupancy, same transition count.
+TEST(Engine, GovernedPoolOfOneMatchesReference) {
+    EngineConfig cfg;
+    cfg.sessions = 1;
+    cfg.shards = 1;
+    cfg.window_ldus = 24;
+    cfg.packets_per_ldu = 2;
+    cfg.feedback_loss = {0.6, 0.9};  // mostly-lost feedback: misses abound
+    cfg.governor.enabled = true;
+    cfg.governor.miss_budget = 2;
+    cfg.governor.fallback_budget = 3;
+    cfg.governor.recovery_windows = 3;
+    cfg.seed = 31;
+    constexpr std::size_t kWindows = 300;
+
+    ShardedEngine engine(cfg);
+    engine.run(kWindows);
+    const EngineSummary s = engine.summary();
+    const ReferenceTrace ref = run_reference_session(cfg, 0, kWindows);
+    ASSERT_EQ(ref.window_state.size(), kWindows);
+
+    EXPECT_EQ(s.windows, kWindows);
+    EXPECT_EQ(s.unit_losses, ref.unit_losses);
+    EXPECT_EQ(s.acks_delivered, ref.acks_delivered);
+    EXPECT_EQ(s.acks_lost, ref.acks_lost);
+    EXPECT_EQ(s.governor_transitions, ref.governor_transitions);
+    std::uint64_t occupancy[4] = {0, 0, 0, 0};
+    for (const std::uint8_t st : ref.window_state) ++occupancy[st];
+    for (std::size_t st = 0; st < 4; ++st) {
+        SCOPED_TRACE(st);
+        EXPECT_EQ(s.governor_windows[st], occupancy[st]);
+    }
+    // The chosen parameters actually exercise the whole ladder.
+    EXPECT_GT(s.governor_transitions, 0u);
+    EXPECT_GT(s.governor_windows[1] + s.governor_windows[2], 0u);
+    // Per-window bounds agree with the supervised reference loop.
+    for (std::size_t w = 0; w < kWindows; ++w) {
+        SCOPED_TRACE(w);
+        const auto bound = static_cast<std::int64_t>(ref.window_bound[w]);
+        EXPECT_EQ(s.bound_histogram.count(bound),
+                  static_cast<std::size_t>(
+                      std::count(ref.window_bound.begin(),
+                                 ref.window_bound.end(), ref.window_bound[w])));
+    }
+}
+
+// Shard invariance holds with supervision enabled: governor state lives
+// per slot, so cutting the slot axis differently cannot change it.
+TEST(Engine, GovernedShardCountInvariance) {
+    EngineConfig cfg = churny_config();
+    cfg.governor.enabled = true;
+    const std::string one = run_to_json(cfg, 1, 64);
+    EXPECT_EQ(one, run_to_json(cfg, 2, 64));
+    EXPECT_EQ(one, run_to_json(cfg, 8, 64));
+    // And supervision is not a no-op relative to the unsupervised run.
+    EngineConfig off = churny_config();
+    EXPECT_NE(one, run_to_json(off, 1, 64));
+}
+
 // Config validation rejects out-of-range parameters before any arena is
 // built.
 TEST(Engine, ValidatesConfig) {

@@ -326,6 +326,23 @@ TEST(GovernedSession, RidesFeedbackBlackoutThroughFallbackAndRecovery) {
     EXPECT_EQ(r.governor.windows_in_state[2], 4u);
     EXPECT_EQ(r.governor.windows_in_state[3], 3u);
 
+    // Dwell accounting: the ladder visits Normal twice (the initial visit
+    // plus the post-recovery return) and every other state once, so the
+    // visit counts satisfy sum(state_entries) == transitions + 1.
+    EXPECT_EQ(r.governor.state_entries[0], 2u);
+    EXPECT_EQ(r.governor.state_entries[1], 1u);
+    EXPECT_EQ(r.governor.state_entries[2], 1u);
+    EXPECT_EQ(r.governor.state_entries[3], 1u);
+    EXPECT_EQ(r.governor.state_entries[0] + r.governor.state_entries[1] +
+                  r.governor.state_entries[2] + r.governor.state_entries[3],
+              r.governor.transitions + 1);
+    // Longest single visit per state: Normal's first stretch (windows
+    // 0..11) beats its final one; the others equal their only visit.
+    EXPECT_EQ(r.governor.longest_dwell[0], 12u);
+    EXPECT_EQ(r.governor.longest_dwell[1], 2u);
+    EXPECT_EQ(r.governor.longest_dwell[2], 4u);
+    EXPECT_EQ(r.governor.longest_dwell[3], 3u);
+
     // Every transition is visible as a trace event, in order.
     const std::vector<TraceEvent> ev = events_of(rec, EventType::kGovernorState);
     ASSERT_EQ(ev.size(), 4u);
@@ -346,6 +363,10 @@ TEST(GovernedSession, RidesFeedbackBlackoutThroughFallbackAndRecovery) {
     EXPECT_EQ(r.metrics.counter("governor_fallbacks"), 1u);
     EXPECT_EQ(r.metrics.counter("governor_recoveries"), 1u);
     EXPECT_EQ(r.metrics.counter("governor_transitions"), 4u);
+    EXPECT_EQ(r.metrics.counter("governor_entries_normal"), 2u);
+    EXPECT_EQ(r.metrics.counter("governor_entries_fallback"), 1u);
+    EXPECT_EQ(r.metrics.counter("governor_longest_dwell_normal"), 12u);
+    EXPECT_EQ(r.metrics.counter("governor_longest_dwell_recovering"), 3u);
     const auto* bounds = r.metrics.find_histogram("governor_bound");
     ASSERT_NE(bounds, nullptr);
     EXPECT_EQ(bounds->total(), 26u);

@@ -82,6 +82,11 @@ TEST(LintFixtures, D4FlagsUngatedSinkCallAcceptsGatedOne) {
     EXPECT_EQ(keys(diags), (Keys{{"D4", 15}}));
 }
 
+TEST(LintFixtures, D4MatchesObserveFamilyThroughMethodNameContinuation) {
+    const auto diags = lint_fixture("src/engine/d4_observe_sites.cpp");
+    EXPECT_EQ(keys(diags), (Keys{{"D4", 15}}));
+}
+
 TEST(LintFixtures, D5FlagsIostreamRawNewAndDelete) {
     const auto diags = lint_fixture("src/media/d5_raw_new.cpp");
     EXPECT_EQ(keys(diags), (Keys{{"D5", 3}, {"D5", 12}, {"D5", 16}}));
@@ -105,8 +110,8 @@ TEST(LintFixtures, SuppressionWithoutReasonIsFlaggedAndIneffective) {
 TEST(LintFixtures, TreeScanAggregatesAllSeededViolations) {
     const auto diags = espread::lint::lint_tree(ESPREAD_LINT_FIXTURES,
                                                 {"src"}, bare_config());
-    // 1 (D1) + 2 (D2) + 1 (D3) + 1 (D4) + 3 (D5) + 2 (D0+D1 no-reason).
-    EXPECT_EQ(diags.size(), 10u);
+    // 1 (D1) + 2 (D2) + 1 (D3) + 2 (D4) + 3 (D5) + 2 (D0+D1 no-reason).
+    EXPECT_EQ(diags.size(), 11u);
     // Deterministic order: sorted by path, then line.
     for (std::size_t i = 1; i < diags.size(); ++i) {
         EXPECT_LE(diags[i - 1].path, diags[i].path);

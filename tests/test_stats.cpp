@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 namespace {
 
@@ -154,6 +155,31 @@ TEST(Histogram, EmptyIsSafe) {
     EXPECT_EQ(h.total(), 0u);
     EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
     EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.quantile(0.5), 0);
+}
+
+TEST(Histogram, QuantileIsNearestRankAndMonotone) {
+    Histogram h;
+    for (const int v : {1, 1, 2, 3, 5, 8, 8, 8, 13, 21}) h.add(v);
+    // Nearest-rank: the ceil(q*10)-th smallest value (1-based).
+    EXPECT_EQ(h.quantile(0.0), 1);   // == min()
+    EXPECT_EQ(h.quantile(0.10), 1);
+    EXPECT_EQ(h.quantile(0.25), 2);  // rank 3
+    EXPECT_EQ(h.quantile(0.50), 5);  // rank 5
+    EXPECT_EQ(h.quantile(0.90), 13);
+    EXPECT_EQ(h.quantile(0.99), 21);
+    EXPECT_EQ(h.quantile(1.0), 21);  // == max()
+    std::int64_t prev = h.quantile(0.0);
+    for (double q = 0.0; q <= 1.0; q += 0.05) {
+        EXPECT_GE(h.quantile(q), prev) << q;
+        prev = h.quantile(q);
+    }
+    // Negative bins participate like any other value.
+    Histogram neg;
+    for (const int v : {-5, -2, 0, 4}) neg.add(v);
+    EXPECT_EQ(neg.quantile(0.0), -5);
+    EXPECT_EQ(neg.quantile(0.5), -2);
+    EXPECT_EQ(neg.quantile(1.0), 4);
 }
 
 TEST(FormatFixed, RendersDigits) {

@@ -464,15 +464,22 @@ void check_d3(const Stripped& s, const LintConfig& cfg, Emitter& e) {
 // ---- D4: gated trace/metrics emission --------------------------------------
 
 void check_d4(const Stripped& s, const LintConfig& cfg, Emitter& e) {
+    // "->observe" covers the telemetry plane's observe_* family
+    // (TelemetrySlab::observe_window etc.): the prefix may continue with
+    // identifier characters before the call parens.
     static const char* kSinkCalls[] = {"->record", "->add_counter",
-                                       "->histogram"};
+                                       "->histogram", "->observe"};
     for (std::size_t i = 0; i < s.code.size(); ++i) {
         const std::string& line = s.code[i];
         for (const char* call : kSinkCalls) {
             const std::size_t pos = line.find(call);
             if (pos == std::string::npos) continue;
-            // Must be a call.
+            // Must be a call (allowing a method-name continuation of the
+            // prefix, so "->observe" matches "->observe_loss_run(").
             std::size_t after = pos + std::string(call).size();
+            while (after < line.size() && ident_char(line[after])) {
+                ++after;
+            }
             while (after < line.size() &&
                    std::isspace(static_cast<unsigned char>(line[after])) != 0) {
                 ++after;

@@ -1,0 +1,52 @@
+// Minimal JSON reader for the fleet-report tool.
+//
+// The repo's exp::JsonWriter only emits; this is its read-side
+// counterpart, sized for the snapshot-series documents
+// obs::telemetry::write_snapshot_series produces: objects, arrays,
+// numbers, strings, booleans and null, parsed into a small DOM with
+// deterministic (sorted) object iteration.  Not a general-purpose
+// parser: no \u escapes beyond ASCII, numbers round-trip through
+// double (exact for the counters' magnitudes), duplicate keys keep the
+// last value.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace espread::report {
+
+class JsonValue {
+public:
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Type type = Type::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool is_object() const noexcept { return type == Type::kObject; }
+    bool is_array() const noexcept { return type == Type::kArray; }
+    bool is_number() const noexcept { return type == Type::kNumber; }
+    bool is_string() const noexcept { return type == Type::kString; }
+
+    /// Number as an unsigned integer (0 for non-numbers / negatives).
+    std::uint64_t as_u64() const noexcept {
+        if (type != Type::kNumber || number < 0.0) return 0;
+        return static_cast<std::uint64_t>(number);
+    }
+
+    /// Member lookup; returns null-typed sentinel for missing keys or
+    /// non-objects.
+    const JsonValue& at(const std::string& key) const noexcept;
+};
+
+/// Parses one JSON document.  Returns false (with *error set, when
+/// non-null) on malformed input or trailing garbage.
+bool parse_json(const std::string& text, JsonValue& out, std::string* error);
+
+}  // namespace espread::report

@@ -1,0 +1,28 @@
+// espread_report CLI — renders a fleet telemetry snapshot series
+// (TELEMETRY_*.json, written by obs::telemetry::write_snapshot_series)
+// as a terminal report and replays the SLO evaluator over it.
+//
+//   espread_report <series.json>
+//                  [--slo name,signal,threshold[,quantile[,fast,slow
+//                                        [,fast_burn,slow_burn]]]]...
+//                  [--prometheus] [--max-rows N]
+//
+// Exits 0 when every objective stayed healthy, 2 when any objective
+// breached its burn-rate budget (the CI gate), 1 on usage or parse
+// errors.  All logic lives in report.cpp so tests drive it in-process.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "report.hpp"
+
+int main(int argc, char** argv) {
+    std::vector<std::string> args;
+    args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+    for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+
+    std::string out;
+    const int rc = espread::report::run_report_cli(args, out);
+    std::fputs(out.c_str(), rc == 0 || rc == 2 ? stdout : stderr);
+    return rc;
+}

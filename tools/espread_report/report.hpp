@@ -1,0 +1,77 @@
+// Fleet report renderer: turns a snapshot-series JSON file (written by
+// obs::telemetry::write_snapshot_series) back into FleetSnapshots,
+// replays the SLO evaluator over them, and renders a terminal report —
+// totals, a per-epoch delta table, sparklines, and per-objective
+// burn-rate health.  The library is the whole tool; main.cpp only reads
+// the file and forwards argv, so tests drive render_report in-process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry/slo.hpp"
+#include "obs/telemetry/snapshot.hpp"
+
+namespace espread::report {
+
+/// A snapshot series reconstructed from its JSON document.
+struct LoadedSeries {
+    std::size_t epoch_steps = 0;
+    std::vector<obs::telemetry::FleetSnapshot> snapshots;
+};
+
+/// Parses a series document ({"format":1,...}).  Returns false (with
+/// *error set when non-null) on malformed JSON, wrong format version, or
+/// missing fields.  Histograms are restored bucket-for-bucket, so a
+/// loaded snapshot compares equal (operator==) to the one that was
+/// serialized.
+bool load_series(const std::string& json_text, LoadedSeries& out,
+                 std::string* error);
+
+/// Parses one --slo spec:
+///   name,signal,threshold[,quantile[,fast_window,slow_window
+///                                   [,fast_burn,slow_burn]]]
+/// e.g. "clf_tail,clf,2,0.99,4,64,14,6".  Unspecified fields keep the
+/// SloObjective defaults.  Returns false with *error on bad specs.
+bool parse_objective_spec(const std::string& spec,
+                          obs::telemetry::SloObjective& out,
+                          std::string* error);
+
+/// The objective applied when the caller names none: per-epoch p99
+/// playout CLF stays <= 2 (the paper's perceptual "spread thin" target).
+obs::telemetry::SloObjective default_objective();
+
+struct ReportOptions {
+    /// Objectives to evaluate; empty means {default_objective()}.
+    std::vector<obs::telemetry::SloObjective> objectives;
+    /// Append Prometheus text exposition of the final snapshot.
+    bool prometheus = false;
+    /// Per-epoch table row budget; longer series are stride-sampled.
+    std::size_t max_rows = 48;
+};
+
+struct ReportResult {
+    std::string text;       ///< rendered report (always, even on breach)
+    bool breached = false;  ///< any objective ever reached kBreached
+};
+
+/// Renders the report for one series document.  Returns false (with
+/// *error) on malformed input; `out.text` is still the partial header in
+/// that case.
+bool render_report(const std::string& json_text, const ReportOptions& opt,
+                   ReportResult& out, std::string* error);
+
+/// Unicode block sparkline of `values` scaled to the series maximum
+/// (all-zero input renders the floor glyph).  Exposed for tests.
+std::string sparkline(const std::vector<std::uint64_t>& values);
+
+/// CLI entry (exposed so tests can exercise exit codes in-process):
+///   espread_report <series.json> [--slo spec]... [--prometheus]
+///                  [--max-rows N]
+/// Returns 0 on healthy series, 1 on usage/parse errors, 2 when any SLO
+/// objective breached.  Output is appended to `out`.
+int run_report_cli(const std::vector<std::string>& args, std::string& out);
+
+}  // namespace espread::report
