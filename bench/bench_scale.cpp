@@ -54,6 +54,9 @@ struct Args {
     bool telemetry = false;             // per-shard slabs + epoch snapshots
     std::size_t telemetry_epoch = 16;   // engine steps per snapshot epoch
     bool governor = false;              // governor-lite outage supervision
+    bool fec = false;                   // FEC-lite window repair arm
+    std::size_t fec_num = 1;            // repair overhead ratio numerator
+    std::size_t fec_den = 10;           // repair overhead ratio denominator
     std::string telemetry_out = "TELEMETRY_scale.json";
 };
 
@@ -93,6 +96,12 @@ Args parse_args(int argc, char** argv) {
             a.governor = true;
             continue;
         }
+        if (std::strcmp(arg, "--fec") == 0) {
+            a.fec = true;
+            continue;
+        }
+        if (parse_size(arg, "--fec-num=", &a.fec_num)) continue;
+        if (parse_size(arg, "--fec-den=", &a.fec_den)) continue;
         if (std::strncmp(arg, "--telemetry-out=", 16) == 0) {
             a.telemetry_out = arg + 16;
             continue;
@@ -117,6 +126,9 @@ EngineConfig engine_config(const Args& a) {
     cfg.telemetry.enabled = a.telemetry;
     cfg.telemetry.epoch_steps = a.telemetry_epoch;
     cfg.governor.enabled = a.governor;
+    cfg.fec.enabled = a.fec;
+    cfg.fec.overhead_num = a.fec_num;
+    cfg.fec.overhead_den = a.fec_den;
     cfg.seed = 42;
     return cfg;
 }
@@ -192,6 +204,13 @@ int main(int argc, char** argv) {
     std::printf("quality: CLF mean %.3f dev %.3f max %llu, ALF %.4f\n",
                 after.clf_mean, after.clf_dev,
                 static_cast<unsigned long long>(after.clf_max), after.alf);
+    if (after.fec) {
+        std::printf("fec-lite: %llu repair packets, %llu lossy windows "
+                    "repaired, %llu unrepaired\n",
+                    static_cast<unsigned long long>(after.fec_repair_packets),
+                    static_cast<unsigned long long>(after.fec_windows_recovered),
+                    static_cast<unsigned long long>(after.fec_windows_unrecovered));
+    }
 
     double loop_wps = 0.0;
     double speedup = 0.0;

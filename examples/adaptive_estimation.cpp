@@ -87,6 +87,8 @@ public:
             case EventType::kDupDropped:
             case EventType::kStaleDropped:
             case EventType::kSloHealth:
+            case EventType::kRepairSent:
+            case EventType::kFecRecovered:
                 break;
         }
     }

@@ -42,6 +42,24 @@ struct TelemetryConfig {
     std::size_t epoch_steps = 64;  ///< engine steps per snapshot epoch
 };
 
+/// Window-scoped FEC-lite arm — the SoA pool's idealization of the
+/// sliding-window RLC scheme (src/fec, DESIGN.md §12), reduced to what
+/// fits the branch-light hot path.  After a window's n*f source packets
+/// the sender appends floor(n*f*overhead_num/overhead_den) repair packets
+/// through the same Gilbert chain (always sent: constant bandwidth,
+/// shard-independent chain advance); the window's lost LDUs are repaired
+/// before unspreading iff the surviving repairs cover the lost source
+/// packets (the MDS all-or-nothing limit of the RLC decoder's rank
+/// condition).  The Eq. 1 feedback still reports the *channel* burst, so
+/// adaptation keeps tracking the network, not the post-repair stream.
+/// Disabled (the default) the engine's numbers are byte-identical to a
+/// build without this arm.
+struct FecLiteConfig {
+    bool enabled = false;
+    std::size_t overhead_num = 1;   ///< repair packets per overhead_den sources
+    std::size_t overhead_den = 10;
+};
+
 /// Per-slot "governor-lite" supervision of the Eq. 1 feedback loop — the
 /// SoA pool's counterpart of proto::AdaptationGovernor, reduced to what
 /// fits a branch-light hot path: a missed-feedback watchdog driving
@@ -81,6 +99,7 @@ struct EngineConfig {
 
     ChurnConfig churn{};
     TelemetryConfig telemetry{};
+    FecLiteConfig fec{};
     GovernorLiteConfig governor{};
 
     /// When set, summarize() also fills an obs::MetricsRegistry with
@@ -114,6 +133,10 @@ struct EngineConfig {
         if (churn.enabled && churn.min_lifetime_windows == 0) {
             throw std::invalid_argument(
                 "EngineConfig: churn.min_lifetime_windows must be >= 1");
+        }
+        if (fec.enabled && (fec.overhead_num == 0 || fec.overhead_den == 0)) {
+            throw std::invalid_argument(
+                "EngineConfig: fec overhead ratio terms must be >= 1");
         }
         if (telemetry.enabled && telemetry.epoch_steps == 0) {
             throw std::invalid_argument(

@@ -102,6 +102,11 @@ void append_summary(exp::JsonWriter& json, const EngineSummary& s) {
     for (std::size_t st = 0; st < 4; ++st) json.value(s.governor_windows[st]);
     json.end_array();
     json.key("governor_transitions").value(s.governor_transitions);
+    if (s.fec) {
+        json.key("fec_repair_packets").value(s.fec_repair_packets);
+        json.key("fec_windows_recovered").value(s.fec_windows_recovered);
+        json.key("fec_windows_unrecovered").value(s.fec_windows_unrecovered);
+    }
     json.key("clf_histogram");
     append_histogram(json, s.clf_histogram);
     json.key("bound_histogram");

@@ -107,6 +107,14 @@ SessionPool::SessionPool(const EngineConfig& cfg) : cfg_(cfg) {
     tot_spawned_.assign(capacity_, 0);
     tot_completed_.assign(capacity_, 0);
     max_clf_.assign(capacity_, 0);
+    if (cfg_.fec.enabled) {
+        const std::size_t packets = n_ * f_;
+        fec_repairs_per_window_ =
+            packets * cfg_.fec.overhead_num / cfg_.fec.overhead_den;
+        tot_fec_repairs_.assign(capacity_, 0);
+        tot_fec_recovered_.assign(capacity_, 0);
+        tot_fec_unrecovered_.assign(capacity_, 0);
+    }
     if (cfg_.governor.enabled) {
         gov_.assign(capacity_, GovernorLiteState{});
         tot_state_windows_.assign(capacity_ * 4, 0);
@@ -187,6 +195,7 @@ void SessionPool::run_window_range(std::size_t begin, std::size_t end,
     const std::size_t D = cfg_.feedback_delay_windows;
     const std::size_t packets = n_ * f_;
     const bool governed = cfg_.governor.enabled;
+    const bool fec_on = cfg_.fec.enabled;
     std::uint64_t* tx = s.tx_words.data();
     std::uint64_t* pb = s.pb_words.data();
     obs::telemetry::TelemetrySlab* const tel = s.telemetry;
@@ -239,6 +248,7 @@ void SessionPool::run_window_range(std::size_t begin, std::size_t end,
         std::fill_n(tx, words_, std::uint64_t{0});
         net::GilbertLoss& chain = data_chain_[slot];
         std::size_t pkt = 0;
+        std::size_t lost_pkts = 0;
         bool any_loss = false;
         while (pkt < packets) {
             const net::GilbertLoss::Run run =
@@ -246,19 +256,43 @@ void SessionPool::run_window_range(std::size_t begin, std::size_t end,
             const std::size_t len = static_cast<std::size_t>(run.length);
             if (run.lost) {
                 any_loss = true;
+                lost_pkts += len;
                 set_bits(tx, pkt / f_, (pkt + len - 1) / f_);
             }
             pkt += len;
         }
 
-        // 3. Unspread + continuity accounting, word at a time.
+        // 2b. FEC-lite: the window's repair packets ride the same chain,
+        //     and are always sent (constant bandwidth, shard-independent
+        //     chain advance even on loss-free windows).
+        std::size_t fec_survived = 0;
+        if (fec_on) {
+            std::size_t rp = 0;
+            while (rp < fec_repairs_per_window_) {
+                const net::GilbertLoss::Run run = chain.next_run(
+                    static_cast<std::uint64_t>(fec_repairs_per_window_ - rp));
+                const std::size_t len = static_cast<std::size_t>(run.length);
+                if (!run.lost) fec_survived += len;
+                rp += len;
+            }
+        }
+
+        // 3. Unspread + continuity accounting, word at a time.  A window
+        //    whose surviving repairs cover its lost source packets is
+        //    repaired whole before playback (all-or-nothing MDS limit);
+        //    the transmission-order observation `obs` is taken first, so
+        //    feedback still reports the raw channel.
         std::size_t obs = 0;
         std::size_t clf = 0;
         std::size_t losses = 0;
+        bool recovered = false;
         if (any_loss) {
             losses = count_set_bits(tx, words_);
             obs = max_set_run(tx, words_);
-            if (cfg_.spread) {
+            if (fec_on && fec_survived >= lost_pkts) {
+                recovered = true;
+                losses = 0;
+            } else if (cfg_.spread) {
                 std::fill_n(pb, words_, std::uint64_t{0});
                 perms_[bound].scatter_set_bits(tx, pb, words_);
                 clf = max_set_run(pb, words_);
@@ -287,12 +321,22 @@ void SessionPool::run_window_range(std::size_t begin, std::size_t end,
         if (clf > max_clf_[slot]) max_clf_[slot] = static_cast<std::uint32_t>(clf);
         ++s.clf_hist[clf];
         ++s.bound_hist[bound];
+        if (fec_on) {
+            tot_fec_repairs_[slot] += fec_repairs_per_window_;
+            if (any_loss) {
+                if (recovered) {
+                    ++tot_fec_recovered_[slot];
+                } else {
+                    ++tot_fec_unrecovered_[slot];
+                }
+            }
+        }
         windows_run_[slot] = w + 1;
         if (tel != nullptr) {
             tel->observe_window(static_cast<std::uint64_t>(clf),
                                 static_cast<std::uint64_t>(bound),
                                 static_cast<std::uint64_t>(losses), gov_state);
-            if (any_loss) {
+            if (any_loss && !recovered) {
                 record_loss_runs(cfg_.spread ? pb : tx, words_, tel);
             }
         }
@@ -326,6 +370,14 @@ EngineSummary SessionPool::summarize(
         out.sessions_spawned += tot_spawned_[slot];
         out.sessions_completed += tot_completed_[slot];
         out.clf_max = std::max<std::uint64_t>(out.clf_max, max_clf_[slot]);
+    }
+    if (cfg_.fec.enabled) {
+        out.fec = true;
+        for (std::size_t slot = 0; slot < capacity_; ++slot) {
+            out.fec_repair_packets += tot_fec_repairs_[slot];
+            out.fec_windows_recovered += tot_fec_recovered_[slot];
+            out.fec_windows_unrecovered += tot_fec_unrecovered_[slot];
+        }
     }
     if (cfg_.governor.enabled) {
         for (std::size_t slot = 0; slot < capacity_; ++slot) {
@@ -379,6 +431,14 @@ EngineSummary SessionPool::summarize(
         out.metrics.add_counter("engine/sessions_completed",
                                 out.sessions_completed);
         out.metrics.add_counter("engine/idle_windows", out.idle_windows);
+        if (cfg_.fec.enabled) {
+            out.metrics.add_counter("engine/fec_repair_packets",
+                                    out.fec_repair_packets);
+            out.metrics.add_counter("engine/fec_windows_recovered",
+                                    out.fec_windows_recovered);
+            out.metrics.add_counter("engine/fec_windows_unrecovered",
+                                    out.fec_windows_unrecovered);
+        }
         if (cfg_.governor.enabled) {
             out.metrics.add_counter("engine/governor_windows_normal",
                                     out.governor_windows[0]);

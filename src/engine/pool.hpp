@@ -68,6 +68,11 @@ struct EngineSummary {
     /// TelemetryCounters::governor_windows (pinned by test_telemetry).
     std::uint64_t governor_windows[4] = {0, 0, 0, 0};
     std::uint64_t governor_transitions = 0;  ///< governor-lite state changes
+    /// FEC-lite arm (all zero, and absent from summary_json, when off).
+    bool fec = false;                        ///< arm enabled this run
+    std::uint64_t fec_repair_packets = 0;    ///< repair packets sent
+    std::uint64_t fec_windows_recovered = 0; ///< lossy windows fully repaired
+    std::uint64_t fec_windows_unrecovered = 0;  ///< lossy windows left coded-out
     sim::Histogram clf_histogram;      ///< per-window CLF distribution
     sim::Histogram bound_histogram;    ///< Eq. 1 bound usage distribution
     obs::MetricsRegistry metrics;      ///< filled when collect_metrics
@@ -149,6 +154,13 @@ private:
     std::vector<std::uint64_t> tot_spawned_;
     std::vector<std::uint64_t> tot_completed_;
     std::vector<std::uint32_t> max_clf_;
+
+    // FEC-lite arm (sized only when cfg_.fec.enabled, so an uncoded pool
+    // pays nothing).
+    std::size_t fec_repairs_per_window_ = 0;
+    std::vector<std::uint64_t> tot_fec_repairs_;
+    std::vector<std::uint64_t> tot_fec_recovered_;
+    std::vector<std::uint64_t> tot_fec_unrecovered_;
 
     // Governor-lite supervision (sized only when cfg_.governor.enabled,
     // so an unsupervised pool pays nothing).

@@ -19,6 +19,9 @@ ReferenceTrace run_reference_session(const EngineConfig& cfg,
     const std::size_t n = cfg.window_ldus;
     const std::size_t f = cfg.packets_per_ldu;
     const std::size_t D = cfg.feedback_delay_windows;
+    const std::size_t repairs =
+        cfg.fec.enabled ? n * f * cfg.fec.overhead_num / cfg.fec.overhead_den
+                        : 0;
 
     sim::Rng root(sim::derive_seed(cfg.seed, session_id));
     net::GilbertLoss data(cfg.data_loss, root.split(1));
@@ -56,18 +59,37 @@ ReferenceTrace run_reference_session(const EngineConfig& cfg,
 
         // One drop_next per packet; an LDU is lost if any packet is.
         LossMask tx_delivered(n, true);
+        std::size_t lost_pkts = 0;
         for (std::size_t ldu = 0; ldu < n; ++ldu) {
             for (std::size_t p = 0; p < f; ++p) {
-                if (data.drop_next()) tx_delivered[ldu] = false;
+                if (data.drop_next()) {
+                    tx_delivered[ldu] = false;
+                    ++lost_pkts;
+                }
             }
         }
 
+        // FEC-lite mirror: the repair packets always follow the sources
+        // through the same chain; a lossy window is repaired whole iff
+        // the survivors cover the lost source packets.
+        std::size_t fec_survived = 0;
+        if (cfg.fec.enabled) {
+            for (std::size_t r = 0; r < repairs; ++r) {
+                if (!data.drop_next()) ++fec_survived;
+            }
+            trace.fec_repair_packets += repairs;
+        }
+        const bool recovered =
+            cfg.fec.enabled && lost_pkts > 0 && fec_survived >= lost_pkts;
+        if (recovered) ++trace.fec_windows_recovered;
+
+        const std::size_t obs = consecutive_loss(tx_delivered);
         const Permutation perm = cfg.spread
                                      ? calculate_permutation(n, bound).perm
                                      : Permutation::identity(n);
-        const LossMask playback = perm.unapply(tx_delivered);
+        const LossMask playback =
+            recovered ? LossMask(n, true) : perm.unapply(tx_delivered);
 
-        const std::size_t obs = consecutive_loss(tx_delivered);
         trace.window_clf.push_back(consecutive_loss(playback));
         trace.window_bound.push_back(bound);
         trace.unit_losses += aggregate_loss_count(playback);

@@ -27,6 +27,9 @@ struct ReferenceTrace {
     std::uint64_t acks_delivered = 0;
     std::uint64_t acks_lost = 0;
     std::uint64_t governor_transitions = 0;
+    /// FEC-lite arm mirror (zero when cfg.fec is off).
+    std::uint64_t fec_repair_packets = 0;
+    std::uint64_t fec_windows_recovered = 0;
 };
 
 /// Runs `windows` buffer windows of the session identified by

@@ -1,0 +1,421 @@
+#include "fec/rlc.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "fec/gf256.hpp"
+
+namespace espread::fec {
+
+namespace {
+
+/// Spans that jump further than this many windows past anything the decoder
+/// has seen are treated as corrupt and discarded (a sound cap: a genuine
+/// encoder advances its window one source at a time, so legitimate traffic
+/// can never outrun the receiver by more than the in-flight span; without
+/// the cap a fuzzed 2^60 base would ask the decoder to materialise that
+/// many loss events).
+constexpr std::uint64_t kMaxForwardWindows = 4;
+
+}  // namespace
+
+void expand_coefficients(std::uint64_t cseed, std::size_t count,
+                         std::uint8_t* out) noexcept {
+    sim::Rng rng(cseed);
+    std::size_t i = 0;
+    while (i < count) {
+        std::uint64_t bits = rng.next_u64();
+        for (int b = 0; b < 8 && i < count; ++b, ++i) {
+            out[i] = static_cast<std::uint8_t>(bits & 0xFFu);
+            bits >>= 8;
+        }
+    }
+    bool all_zero = true;
+    for (std::size_t j = 0; j < count; ++j) {
+        if (out[j] != 0) {
+            all_zero = false;
+            break;
+        }
+    }
+    if (all_zero && count > 0) out[count - 1] = 1;
+}
+
+// ---------------------------------------------------------------------------
+// Encoder
+
+RlcEncoder::RlcEncoder(std::size_t max_window, std::size_t symbol_bytes,
+                       std::uint64_t seed)
+    : window_(max_window), symbol_bytes_(symbol_bytes), rng_(seed) {
+    if (window_ == 0 || window_ > kMaxWindow) {
+        throw std::invalid_argument("RlcEncoder: window must be in [1, 255]");
+    }
+    if (symbol_bytes_ == 0) {
+        throw std::invalid_argument("RlcEncoder: symbol_bytes must be > 0");
+    }
+    ring_.assign(window_ * symbol_bytes_, 0);
+}
+
+std::uint64_t RlcEncoder::add_source(const std::uint8_t* data,
+                                     std::size_t len) {
+    if (len > symbol_bytes_) {
+        throw std::invalid_argument("RlcEncoder: source exceeds symbol size");
+    }
+    const std::uint64_t index = next_++;
+    std::uint8_t* slot =
+        ring_.data() + (index % window_) * symbol_bytes_;
+    std::fill(slot, slot + symbol_bytes_, std::uint8_t{0});
+    std::copy(data, data + len, slot);
+    return index;
+}
+
+RepairSymbol RlcEncoder::make_repair() {
+    if (next_ == 0) {
+        throw std::logic_error("RlcEncoder: repair before any source");
+    }
+    RepairSymbol r;
+    r.base = window_base();
+    r.count = static_cast<std::size_t>(next_ - r.base);
+    r.cseed = rng_.next_u64();
+    std::uint8_t coeffs[kMaxWindow];
+    expand_coefficients(r.cseed, r.count, coeffs);
+    r.payload.assign(symbol_bytes_, 0);
+    for (std::size_t j = 0; j < r.count; ++j) {
+        const std::uint8_t* src =
+            ring_.data() + ((r.base + j) % window_) * symbol_bytes_;
+        gf_mul_row_add(r.payload.data(), src, symbol_bytes_, coeffs[j]);
+    }
+    return r;
+}
+
+// ---------------------------------------------------------------------------
+// Decoder
+
+RlcDecoder::RlcDecoder(std::size_t max_window, std::size_t symbol_bytes)
+    : window_(max_window), symbol_bytes_(symbol_bytes) {
+    if (window_ == 0 || window_ > kMaxWindow) {
+        throw std::invalid_argument("RlcDecoder: window must be in [1, 255]");
+    }
+    coeff_scratch_.resize(kMaxWindow);
+}
+
+RlcDecoder::Sym* RlcDecoder::sym_at(std::uint64_t index) noexcept {
+    if (index < lo_ || index >= next_) return nullptr;
+    return &syms_[static_cast<std::size_t>(index - lo_)];
+}
+
+const RlcDecoder::Sym* RlcDecoder::sym_at(std::uint64_t index) const noexcept {
+    if (index < lo_ || index >= next_) return nullptr;
+    return &syms_[static_cast<std::size_t>(index - lo_)];
+}
+
+void RlcDecoder::extend_to(std::uint64_t end) {
+    while (next_ < end) {
+        syms_.emplace_back();
+        ++next_;
+    }
+}
+
+const std::uint8_t* RlcDecoder::payload(std::uint64_t index) const noexcept {
+    if (symbol_bytes_ == 0) return nullptr;
+    const Sym* s = sym_at(index);
+    if (s == nullptr || s->state != SymState::kKnown) return nullptr;
+    return s->payload.data();
+}
+
+void RlcDecoder::add_source(std::uint64_t index, const std::uint8_t* data,
+                            std::size_t len, double at) {
+    // A source beyond any plausible in-flight span is corrupt input.
+    if (index > next_ && index - next_ > kMaxForwardWindows * window_) {
+        ++stale_;
+        return;
+    }
+    // Source `index` proves the encoder window has slid past index - W.
+    if (index + 1 > window_) advance_base(index + 1 - window_, at);
+    if (index < base_) {
+        ++stale_;
+        return;
+    }
+    extend_to(index + 1);
+    Sym* s = sym_at(index);
+    if (s->state != SymState::kUnknown) {
+        ++stale_;  // duplicate delivery
+        return;
+    }
+    ++sources_received_;
+    ++rank_;  // e_index is always innovative (solved symbols are eliminated
+              // from every stored row eagerly, so no stored combination can
+              // equal a bare unknown)
+    std::vector<std::uint8_t> body;
+    if (symbol_bytes_ > 0) {
+        const std::size_t n = std::min(len, symbol_bytes_);
+        body.assign(symbol_bytes_, 0);
+        if (data != nullptr) std::copy(data, data + n, body.begin());
+    }
+    mark_known(index, std::move(body), at, /*via_repair=*/false);
+    substitute(index);
+    drain(at);
+    advance_in_order();
+    shrink_front();
+}
+
+std::size_t RlcDecoder::add_repair(std::uint64_t base, std::size_t count,
+                                   std::uint64_t cseed,
+                                   const std::uint8_t* payload_bytes,
+                                   std::size_t len, double at) {
+    ++repairs_received_;
+    if (count == 0 || count > kMaxWindow ||
+        base > std::numeric_limits<std::uint64_t>::max() - count) {
+        ++repairs_redundant_;
+        return 0;
+    }
+    if (base > next_ && base - next_ > kMaxForwardWindows * window_) {
+        ++repairs_redundant_;
+        return 0;
+    }
+    // The repair's span pins down the encoder state: symbols below `base`
+    // have left the encoding window, symbols up to base+count were sent.
+    if (base > base_) advance_base(base, at);
+    extend_to(base + count);
+
+    expand_coefficients(cseed, count, coeff_scratch_.data());
+
+    // Eliminate resolved columns; a span touching lost or already-expired
+    // state cannot contribute.
+    std::vector<std::uint8_t> y;
+    if (symbol_bytes_ > 0) {
+        y.assign(symbol_bytes_, 0);
+        if (payload_bytes != nullptr) {
+            const std::size_t n = std::min(len, symbol_bytes_);
+            std::copy(payload_bytes, payload_bytes + n, y.begin());
+        }
+    }
+    for (std::size_t j = 0; j < count; ++j) {
+        const std::uint8_t c = coeff_scratch_[j];
+        if (c == 0) continue;
+        const std::uint64_t idx = base + j;
+        const Sym* s = sym_at(idx);
+        if (s == nullptr || s->state == SymState::kLost) {
+            ++repairs_redundant_;
+            return 0;
+        }
+        if (s->state == SymState::kKnown) {
+            if (symbol_bytes_ > 0) {
+                gf_mul_row_add(y.data(), s->payload.data(), symbol_bytes_, c);
+            }
+            coeff_scratch_[j] = 0;
+        }
+    }
+
+    // Trim to the unknown support.
+    std::size_t first = 0;
+    while (first < count && coeff_scratch_[first] == 0) ++first;
+    if (first == count) {
+        ++repairs_redundant_;  // everything already resolved
+        advance_in_order();
+        shrink_front();
+        return 0;
+    }
+    std::size_t last = count;
+    while (coeff_scratch_[last - 1] == 0) --last;
+
+    Row r;
+    r.pivot = base + first;
+    r.coeffs.assign(coeff_scratch_.begin() +
+                        static_cast<std::ptrdiff_t>(first),
+                    coeff_scratch_.begin() + static_cast<std::ptrdiff_t>(last));
+    r.payload = std::move(y);
+    if (!reduce_row(r)) {
+        ++repairs_redundant_;
+        advance_in_order();
+        shrink_front();
+        return 0;
+    }
+    ++rank_;
+    store_row(std::move(r));
+    const std::size_t n_decoded = drain(at);
+    advance_in_order();
+    shrink_front();
+    return n_decoded;
+}
+
+bool RlcDecoder::reduce_row(Row& r) {
+    for (;;) {
+        // Eliminate any column that resolved since the row was formed.
+        std::size_t j = 0;
+        while (j < r.coeffs.size()) {
+            const std::uint8_t c = r.coeffs[j];
+            if (c != 0) {
+                const Sym* s = sym_at(r.pivot + j);
+                if (s != nullptr && s->state == SymState::kKnown) {
+                    if (symbol_bytes_ > 0) {
+                        gf_mul_row_add(r.payload.data(), s->payload.data(),
+                                       symbol_bytes_, c);
+                    }
+                    r.coeffs[j] = 0;
+                } else if (s == nullptr || s->state == SymState::kLost) {
+                    // Derived rows can reference columns that have since
+                    // expired; they carry no recoverable information.
+                    return false;
+                }
+            }
+            ++j;
+        }
+        while (!r.coeffs.empty() && r.coeffs.front() == 0) {
+            r.coeffs.erase(r.coeffs.begin());
+            ++r.pivot;
+        }
+        while (!r.coeffs.empty() && r.coeffs.back() == 0) r.coeffs.pop_back();
+        if (r.coeffs.empty()) return false;
+
+        auto it = rows_.find(r.pivot);
+        if (it == rows_.end()) return true;
+
+        // r -= r.coeffs[0] * stored (stored rows are pivot-normalised).
+        const Row& stored = it->second;
+        const std::uint8_t c0 = r.coeffs[0];
+        if (stored.coeffs.size() > r.coeffs.size()) {
+            r.coeffs.resize(stored.coeffs.size(), 0);
+        }
+        for (std::size_t k = 0; k < stored.coeffs.size(); ++k) {
+            r.coeffs[k] = static_cast<std::uint8_t>(
+                r.coeffs[k] ^ gf_mul(c0, stored.coeffs[k]));
+        }
+        if (symbol_bytes_ > 0) {
+            gf_mul_row_add(r.payload.data(), stored.payload.data(),
+                           symbol_bytes_, c0);
+        }
+        // Loop: the pivot strictly advanced, so this terminates.
+    }
+}
+
+void RlcDecoder::store_row(Row&& r) {
+    const std::uint8_t inv = gf_inv(r.coeffs[0]);
+    if (inv != 1) {
+        gf_mul_row(r.coeffs.data(), r.coeffs.size(), inv);
+        if (symbol_bytes_ > 0) {
+            gf_mul_row(r.payload.data(), r.payload.size(), inv);
+        }
+    }
+    const std::uint64_t pivot = r.pivot;
+    const bool singleton = r.coeffs.size() == 1;
+    rows_.insert_or_assign(pivot, std::move(r));
+    if (singleton) solve_queue_.push_back(pivot);
+}
+
+void RlcDecoder::mark_known(std::uint64_t index,
+                            std::vector<std::uint8_t>&& payload, double at,
+                            bool via_repair) {
+    Sym* s = sym_at(index);
+    s->state = SymState::kKnown;
+    s->at = at;
+    if (symbol_bytes_ > 0) s->payload = std::move(payload);
+    if (via_repair) decoded_.push_back({index, at});
+}
+
+void RlcDecoder::substitute(std::uint64_t index) {
+    const Sym* s = sym_at(index);
+    auto it = rows_.begin();
+    while (it != rows_.end() && it->first <= index) {
+        Row& row = it->second;
+        if (it->first == index) {
+            // The row was led by this symbol: what remains is a derived
+            // equation over the later unknowns.
+            Row rest = std::move(row);
+            it = rows_.erase(it);
+            if (symbol_bytes_ > 0) {
+                gf_mul_row_add(rest.payload.data(), s->payload.data(),
+                               symbol_bytes_, rest.coeffs[0]);
+            }
+            rest.coeffs[0] = 0;
+            pending_rows_.push_back(std::move(rest));
+            continue;
+        }
+        const std::uint64_t off = index - it->first;
+        if (off < row.coeffs.size() && row.coeffs[off] != 0) {
+            if (symbol_bytes_ > 0) {
+                gf_mul_row_add(row.payload.data(), s->payload.data(),
+                               symbol_bytes_, row.coeffs[off]);
+            }
+            row.coeffs[static_cast<std::size_t>(off)] = 0;
+            while (!row.coeffs.empty() && row.coeffs.back() == 0) {
+                row.coeffs.pop_back();
+            }
+            // The pivot coefficient is untouched (off > 0), so the row
+            // cannot vanish; it can become a singleton.
+            if (row.coeffs.size() == 1) solve_queue_.push_back(it->first);
+        }
+        ++it;
+    }
+}
+
+std::size_t RlcDecoder::drain(double at) {
+    std::size_t n_decoded = 0;
+    while (!solve_queue_.empty() || !pending_rows_.empty()) {
+        if (!solve_queue_.empty()) {
+            const std::uint64_t p = solve_queue_.back();
+            solve_queue_.pop_back();
+            auto it = rows_.find(p);
+            if (it == rows_.end() || it->second.coeffs.size() != 1) continue;
+            Row row = std::move(it->second);
+            rows_.erase(it);
+            mark_known(p, std::move(row.payload), at, /*via_repair=*/true);
+            ++n_decoded;
+            substitute(p);
+            continue;
+        }
+        Row r = std::move(pending_rows_.back());
+        pending_rows_.pop_back();
+        if (reduce_row(r)) store_row(std::move(r));
+        // A vanished derived row is simply dropped: its information was
+        // already counted when the original equation arrived.
+    }
+    return n_decoded;
+}
+
+void RlcDecoder::advance_base(std::uint64_t new_base, double at) {
+    if (new_base <= base_) return;
+    extend_to(new_base);
+    for (std::uint64_t idx = std::max(lo_, base_); idx < new_base; ++idx) {
+        Sym* s = sym_at(idx);
+        if (s->state == SymState::kUnknown) {
+            s->state = SymState::kLost;
+            s->at = at;
+            ++lost_;
+        }
+    }
+    // Stored rows pivoted below the new base reference expired unknowns.
+    while (!rows_.empty() && rows_.begin()->first < new_base) {
+        rows_.erase(rows_.begin());
+    }
+    base_ = new_base;
+    advance_in_order();
+    shrink_front();
+}
+
+void RlcDecoder::close(double at) {
+    advance_base(next_, at);
+    advance_in_order();
+    shrink_front();
+}
+
+void RlcDecoder::advance_in_order() {
+    while (in_order_next_ < next_) {
+        const Sym* s = sym_at(in_order_next_);
+        if (s == nullptr || s->state == SymState::kUnknown) break;
+        const double t = std::max(s->at, last_in_order_at_);
+        last_in_order_at_ = t;
+        in_order_.push_back({in_order_next_, t, s->state == SymState::kLost});
+        ++in_order_next_;
+    }
+}
+
+void RlcDecoder::shrink_front() {
+    const std::uint64_t limit = std::min(base_, in_order_next_);
+    while (lo_ < limit && !syms_.empty()) {
+        syms_.pop_front();
+        ++lo_;
+    }
+}
+
+}  // namespace espread::fec

@@ -113,10 +113,33 @@ public:
     /// draws, same arrival times, same trace events — so an inactive fault
     /// layer is observationally free.
     bool send(Msg msg, std::size_t size_bits, const SendFaults& faults) {
+        return send_impl(std::move(msg), size_bits, faults,
+                         /*occupy_link=*/true);
+    }
+
+    /// Sends one message on provisioned side-band headroom: identical loss
+    /// draw, stats, trace, and delivery timing to send(), except the
+    /// message never occupies the link, so in-band traffic is not queued
+    /// behind it.  Models repair streams whose bandwidth is budgeted as
+    /// overhead on top of the media rate (DESIGN.md §12); callers account
+    /// the extra bits themselves.
+    bool send_sideband(Msg msg, std::size_t size_bits) {
+        return send_sideband(std::move(msg), size_bits, SendFaults{});
+    }
+
+    bool send_sideband(Msg msg, std::size_t size_bits,
+                       const SendFaults& faults) {
+        return send_impl(std::move(msg), size_bits, faults,
+                         /*occupy_link=*/false);
+    }
+
+  private:
+    bool send_impl(Msg msg, std::size_t size_bits, const SendFaults& faults,
+                   bool occupy_link) {
         const sim::SimTime tx_time = sim::from_seconds(
             static_cast<double>(size_bits) / link_.bandwidth_bps);
         const sim::SimTime depart = std::max(queue_.now(), link_free_);
-        link_free_ = depart + tx_time;
+        if (occupy_link) link_free_ = depart + tx_time;
         ++stats_.sent;
         stats_.bits_sent += size_bits;
         // Scripted drops short-circuit the Gilbert draw: a blackout models
@@ -146,7 +169,7 @@ public:
                   static_cast<std::size_t>(faults.extra_delay));
         }
         const sim::SimTime arrival =
-            link_free_ + link_.propagation_delay + faults.extra_delay;
+            depart + tx_time + link_.propagation_delay + faults.extra_delay;
         // EventQueue callbacks are std::function (copyable); box the payload
         // so move-only message types work.
         auto boxed = std::make_shared<Msg>(std::move(msg));
@@ -171,6 +194,7 @@ public:
         return true;
     }
 
+  public:
     /// Earliest time a new message could start serializing.
     sim::SimTime next_free_time() const noexcept {
         return std::max(queue_.now(), link_free_);

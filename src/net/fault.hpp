@@ -113,6 +113,22 @@ public:
 
     bool send(Msg msg, std::size_t size_bits) {
         if (!active_) return inner_.send(std::move(msg), size_bits);
+        const SendFaults f = draw_faults(msg, size_bits);
+        return inner_.send(std::move(msg), size_bits, f);
+    }
+
+    /// Side-band variant of send(): same impairment draws, but the inner
+    /// channel is told not to occupy the link (see Channel::send_sideband).
+    bool send_sideband(Msg msg, std::size_t size_bits) {
+        if (!active_) return inner_.send_sideband(std::move(msg), size_bits);
+        const SendFaults f = draw_faults(msg, size_bits);
+        return inner_.send_sideband(std::move(msg), size_bits, f);
+    }
+
+  private:
+    /// Rolls the impairment dice for one outgoing message, possibly
+    /// mutating the payload in place (corruption with a corrupter hook).
+    SendFaults draw_faults(Msg& msg, std::size_t size_bits) {
         SendFaults f;
         f.force_drop = scripted_drop(inner_.next_free_time(),
                                      inner_.packets_sent());
@@ -155,9 +171,10 @@ public:
                 }
             }
         }
-        return inner_.send(std::move(msg), size_bits, f);
+        return f;
     }
 
+  public:
     // ---- Channel surface (delegated) ----------------------------------
     void set_receiver(Receiver r) { inner_.set_receiver(std::move(r)); }
     void set_trace(obs::TraceSink* sink, obs::Actor actor) noexcept {

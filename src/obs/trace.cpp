@@ -29,6 +29,8 @@ const char* event_name(EventType t) noexcept {
         case EventType::kGovernorAckReject: return "GovernorAckReject";
         case EventType::kGovernorClamp: return "GovernorClamp";
         case EventType::kSloHealth: return "SloHealth";
+        case EventType::kRepairSent: return "RepairSent";
+        case EventType::kFecRecovered: return "FecRecovered";
     }
     return "Unknown";
 }

@@ -51,6 +51,8 @@ enum class EventType {
     kGovernorAckReject, ///< server: seq = ACK seq, arg = proto::AckRejectReason, v0 = ACK's window
     kGovernorClamp,     ///< server: arg = raw observation, v0 = clamped observation, v1 = bound before the update
     kSloHealth,         ///< fleet: window = epoch, seq = objective index, arg = new telemetry::SloHealth, v0/v1 = fast/slow burn rate
+    kRepairSent,        ///< server: seq = packet seq, arg = window base, v0 = span, v1 = rank at send
+    kFecRecovered,      ///< server: seq = recovered packet seq, arg = frame index, v0 = decode delay (ms), v1 = receiver rank
 };
 
 /// Which simulated component emitted the event (one trace track each).

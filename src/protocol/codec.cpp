@@ -163,6 +163,28 @@ std::size_t data_packet_header_bytes() noexcept {
     return 1 + 4 + 4 + 1 + 4 + 4 + 1 + 1 + 4 + 1 + 4 + kChecksumBytes;
 }
 
+std::vector<std::uint8_t> encode(const RepairPacket& r) {
+    std::vector<std::uint8_t> out;
+    out.reserve(repair_packet_header_bytes());
+    put_u8(out, static_cast<std::uint8_t>(WireType::kRepair));
+    put_u32(out, static_cast<std::uint32_t>(r.seq));
+    put_u32(out, static_cast<std::uint32_t>(r.window));
+    put_u32(out, static_cast<std::uint32_t>(r.base));
+    put_u8(out, static_cast<std::uint8_t>(r.count));
+    put_u64(out, r.cseed);
+    put_u32(out, static_cast<std::uint32_t>(r.size_bits));
+    seal(out);
+    return out;
+}
+
+std::size_t repair_packet_header_bytes() noexcept {
+    // tag + seq + window + base + count + cseed + size + crc16: the
+    // coefficient vector is derived from cseed at the receiver, so the
+    // repair header is constant-size and fits the same 256-bit budget as
+    // the data header.
+    return 1 + 4 + 4 + 4 + 1 + 8 + 4 + kChecksumBytes;
+}
+
 std::vector<std::uint8_t> encode(const WindowTrailer& t) {
     std::vector<std::uint8_t> out;
     put_u8(out, static_cast<std::uint8_t>(WireType::kTrailer));
@@ -198,6 +220,7 @@ std::optional<WireType> peek_type(const std::vector<std::uint8_t>& bytes) {
         case static_cast<std::uint8_t>(WireType::kData): return WireType::kData;
         case static_cast<std::uint8_t>(WireType::kTrailer): return WireType::kTrailer;
         case static_cast<std::uint8_t>(WireType::kFeedback): return WireType::kFeedback;
+        case static_cast<std::uint8_t>(WireType::kRepair): return WireType::kRepair;
         // espread-lint: allow(D3) wire bytes are untrusted input: an unknown tag must decode to nullopt, not assert
         default: return std::nullopt;
     }
@@ -241,6 +264,33 @@ std::optional<DataPacket> decode_data(const std::vector<std::uint8_t>& bytes) {
     p.retransmission = (flags & kFlagRetransmission) != 0;
     p.parity = (flags & kFlagParity) != 0;
     p.fec_group = fec_group;
+    return p;
+}
+
+std::optional<RepairPacket> decode_repair(const std::vector<std::uint8_t>& bytes) {
+    if (peek_type(bytes) != WireType::kRepair) return std::nullopt;
+    if (!checksum_ok(bytes)) return std::nullopt;
+    Reader r{bytes};
+    std::uint8_t tag = 0;
+    std::uint8_t count = 0;
+    std::uint32_t seq = 0;
+    std::uint32_t window = 0;
+    std::uint32_t base = 0;
+    std::uint32_t size_bits = 0;
+    RepairPacket p;
+    if (!r.u8(tag) || !r.u32(seq) || !r.u32(window) || !r.u32(base) ||
+        !r.u8(count) || !r.u64(p.cseed) || !r.u32(size_bits) ||
+        !r.exhausted()) {
+        return std::nullopt;
+    }
+    // A repair combining zero sources is meaningless; rejecting it keeps
+    // the codec canonical (count re-encodes through a single byte).
+    if (count == 0) return std::nullopt;
+    p.seq = seq;
+    p.window = window;
+    p.base = base;
+    p.count = count;
+    p.size_bits = size_bits;
     return p;
 }
 

@@ -28,12 +28,14 @@ enum class WireType : std::uint8_t {
     kData = 1,
     kTrailer = 2,
     kFeedback = 3,
+    kRepair = 4,
 };
 
 /// Serialized bytes of each record type.
 std::vector<std::uint8_t> encode(const DataPacket& p);
 std::vector<std::uint8_t> encode(const WindowTrailer& t);
 std::vector<std::uint8_t> encode(const Feedback& f);
+std::vector<std::uint8_t> encode(const RepairPacket& r);
 
 /// Peeks the type tag; nullopt on empty input or unknown tag.
 std::optional<WireType> peek_type(const std::vector<std::uint8_t>& bytes);
@@ -43,8 +45,12 @@ std::optional<WireType> peek_type(const std::vector<std::uint8_t>& bytes);
 std::optional<DataPacket> decode_data(const std::vector<std::uint8_t>& bytes);
 std::optional<WindowTrailer> decode_trailer(const std::vector<std::uint8_t>& bytes);
 std::optional<Feedback> decode_feedback(const std::vector<std::uint8_t>& bytes);
+std::optional<RepairPacket> decode_repair(const std::vector<std::uint8_t>& bytes);
 
 /// Exact encoded size in bytes of a DataPacket header (fixed).
 std::size_t data_packet_header_bytes() noexcept;
+
+/// Exact encoded size in bytes of a RepairPacket header (fixed).
+std::size_t repair_packet_header_bytes() noexcept;
 
 }  // namespace espread::proto

@@ -13,6 +13,8 @@ const char* scheme_name(Scheme s) noexcept {
         case Scheme::kLayeredNoScramble: return "layered";
         case Scheme::kLayeredIbo: return "layered+IBO";
         case Scheme::kLayeredSpread: return "layered+CPO";
+        case Scheme::kRlc: return "rlc";
+        case Scheme::kHybridSpreadRlc: return "spread+rlc";
     }
     return "?";
 }
@@ -86,6 +88,20 @@ void SessionConfig::validate() const {
     }
     if (fec.group > 0 && fec.interleave == 0) {
         throw std::invalid_argument("SessionConfig: FEC interleave must be >= 1");
+    }
+    if (rlc_active()) {
+        if (rlc.window_packets == 0 || rlc.window_packets > 255) {
+            throw std::invalid_argument(
+                "SessionConfig: rlc.window_packets must be in [1, 255]");
+        }
+        if (rlc.overhead_num == 0 || rlc.overhead_den == 0) {
+            throw std::invalid_argument(
+                "SessionConfig: RLC schemes need a positive overhead ratio");
+        }
+        if (fec.group > 0) {
+            throw std::invalid_argument(
+                "SessionConfig: RLC and group-parity FEC are mutually exclusive");
+        }
     }
     if (data_link.bandwidth_bps <= 0.0 || feedback_link.bandwidth_bps <= 0.0) {
         throw std::invalid_argument("SessionConfig: bandwidth must be positive");

@@ -25,6 +25,8 @@ enum class Scheme {
     kLayeredNoScramble, ///< layered (anchors first) but no within-layer permutation
     kLayeredIbo,        ///< layered; B layer in Inverse Binary Order (CMT baseline)
     kLayeredSpread,     ///< layered + per-layer k-CPO — the paper's scheme
+    kRlc,               ///< in-order + sliding-window GF(256) RLC repairs
+    kHybridSpreadRlc,   ///< spread *then* code: k-CPO order + RLC repairs
 };
 
 const char* scheme_name(Scheme s) noexcept;
@@ -84,6 +86,19 @@ struct FecConfig {
     std::size_t interleave = 1;
 };
 
+/// Sliding-window random-linear streaming code (src/fec, DESIGN.md §12),
+/// active for Scheme::kRlc and Scheme::kHybridSpreadRlc.  The sender keeps
+/// an elastic window of the last `window_packets` data packets and emits
+/// `overhead_num` repair packets per `overhead_den` data packets (a
+/// rational credit accumulator, so the schedule is exact and deterministic
+/// — overhead ratio = num/den).  Mutually exclusive with the group-parity
+/// FecConfig above.
+struct RlcConfig {
+    std::size_t window_packets = 64;  ///< elastic encoding window, in [1, 255]
+    std::size_t overhead_num = 1;     ///< repairs per overhead_den data packets
+    std::size_t overhead_den = 10;
+};
+
 /// Everything that defines one simulated streaming session.
 struct SessionConfig {
     StreamSpec stream;
@@ -115,6 +130,12 @@ struct SessionConfig {
     /// retransmissions; in [0, 1).
     double predictive_reserve = 0.1;
     FecConfig fec;
+    RlcConfig rlc;
+
+    /// True when `scheme` carries the sliding-window code.
+    bool rlc_active() const noexcept {
+        return scheme == Scheme::kRlc || scheme == Scheme::kHybridSpreadRlc;
+    }
 
     net::LinkConfig data_link{1.2e6, sim::from_millis(11.5)};
     net::LinkConfig feedback_link{1.2e6, sim::from_millis(11.5)};

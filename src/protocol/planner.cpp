@@ -38,7 +38,7 @@ Planner::Planner(const SessionConfig& cfg)
     prereqs_.resize(n);
     for (std::size_t f = 0; f < n; ++f) prereqs_[f] = poset_.direct_prerequisites(f);
 
-    if (scheme_ == Scheme::kInOrder) {
+    if (scheme_ == Scheme::kInOrder || scheme_ == Scheme::kRlc) {
         // The "usual MPEG transmission" baseline: coding order — every
         // frame after its prerequisites, otherwise as close to display
         // order as possible (I0 P1 B B P2 B B ...).  linear_extension()'s
@@ -80,12 +80,14 @@ WindowPlan Planner::build(std::size_t noncritical_bound) const {
         switch (scheme_) {
             case Scheme::kInOrder:
             case Scheme::kLayeredNoScramble:
+            case Scheme::kRlc:  // pure coding keeps the in-order baseline
                 break;  // identity
             case Scheme::kLayeredIbo:
                 // CMT behaviour: anchors in priority order, B frames in IBO.
                 if (!layer_critical_[l]) perm = ibo_order(m);
                 break;
-            case Scheme::kLayeredSpread: {
+            case Scheme::kLayeredSpread:
+            case Scheme::kHybridSpreadRlc: {  // spread first, code on top
                 // Critical layers use the fixed "average case" bound; the
                 // non-critical layers use the adaptive estimate (§4.2).
                 std::size_t bound = layer_critical_[l]

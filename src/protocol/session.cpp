@@ -3,11 +3,13 @@
 #include "protocol/playout.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 #include <variant>
 
+#include "fec/rlc.hpp"
 #include "media/trace.hpp"
 #include "media/trace_io.hpp"
 #include "net/fault.hpp"
@@ -29,7 +31,7 @@ constexpr std::size_t kPacketHeaderBits = 256;
 /// the window (covers propagation of the final retransmission).
 constexpr sim::SimTime kFinalizeSlack = sim::from_millis(2.0);
 
-using DataMsg = std::variant<DataPacket, WindowTrailer>;
+using DataMsg = std::variant<DataPacket, WindowTrailer, RepairPacket>;
 
 /// Applies `1..max_flips` random bit flips to an encoded record.
 void flip_bits(std::vector<std::uint8_t>& bytes, sim::Rng& rng,
@@ -49,13 +51,18 @@ void flip_bits(std::vector<std::uint8_t>& bytes, sim::Rng& rng,
 /// input the hardened receiver/estimator must survive.
 std::optional<DataMsg> corrupt_data_msg(const DataMsg& m, sim::Rng& rng,
                                         std::size_t max_flips) {
-    std::vector<std::uint8_t> bytes =
-        std::holds_alternative<DataPacket>(m)
-            ? encode(std::get<DataPacket>(m))
-            : encode(std::get<WindowTrailer>(m));
+    std::vector<std::uint8_t> bytes;
+    if (const DataPacket* p = std::get_if<DataPacket>(&m)) {
+        bytes = encode(*p);
+    } else if (const WindowTrailer* t = std::get_if<WindowTrailer>(&m)) {
+        bytes = encode(*t);
+    } else {
+        bytes = encode(std::get<RepairPacket>(m));
+    }
     flip_bits(bytes, rng, max_flips);
     if (auto p = decode_data(bytes)) return DataMsg{*p};
     if (auto t = decode_trailer(bytes)) return DataMsg{*t};
+    if (auto r = decode_repair(bytes)) return DataMsg{*r};
     return std::nullopt;
 }
 
@@ -137,9 +144,12 @@ struct Session::Impl {
         data.set_receiver([this](DataMsg m) {
             if (std::holds_alternative<DataPacket>(m)) {
                 receiver.on_packet(std::get<DataPacket>(m), queue.now());
-            } else {
+            } else if (std::holds_alternative<WindowTrailer>(m)) {
                 receiver.on_trailer(std::get<WindowTrailer>(m));
             }
+            // RepairPacket deliveries need no client action here: like the
+            // group-parity arm, erasure recovery runs off the sender-side
+            // survival oracle and re-injects the recovered *data* packets.
         });
         feedback.set_receiver([this](Feedback f) { on_feedback(f); });
 
@@ -160,6 +170,15 @@ struct Session::Impl {
                                                            estimator.window()));
                 });
             }
+        }
+
+        if (cfg.rlc_active()) {
+            // Coefficient seeds draw from their own RNG stream (split 6) so
+            // enabling the code never shifts the Gilbert loss, media, or
+            // impairment processes; an uncoded session never takes this
+            // split and stays byte-identical to pre-FEC builds.
+            rlc_rng = rng.split(6);
+            rlc_decoder.emplace(cfg.rlc.window_packets, /*symbol_bytes=*/0);
         }
     }
 
@@ -245,6 +264,13 @@ struct Session::Impl {
         const std::size_t wire_bits = p.size_bits + kPacketHeaderBits;
         const bool fec_eligible =
             cfg.fec.group > 0 && !p.retransmission && !p.parity;
+        const bool rlc_eligible =
+            rlc_decoder.has_value() && !p.retransmission && !p.parity;
+        if (rlc_eligible) {
+            // The wire header reuses fec_group to carry the source index
+            // (RLC and group FEC are mutually exclusive by validation).
+            p.fec_group = static_cast<std::size_t>(rlc_next & 0xFFFFFFFFu);
+        }
         const bool ok = data.send(DataMsg{p}, wire_bits);
         if (ok) {
             packet_burst = 0;
@@ -260,7 +286,131 @@ struct Session::Impl {
             g.packets.emplace_back(p, ok);
             if (++g.data == cfg.fec.group) flush_fec_group(g, rep);
         }
+        if (rlc_eligible) rlc_on_source(p, ok, rep);
         return ok;
+    }
+
+    // ---- sliding-window RLC (DESIGN.md §12) --------------------------------
+
+    /// Books one freshly sent source packet into the coding window, feeds
+    /// the receiver-model decoder (sender-side survival oracle, like the
+    /// group-parity arm) and emits any repair packets the credit schedule
+    /// owes: overhead_num repairs accrue per overhead_den source packets.
+    void rlc_on_source(const DataPacket& p, bool survived, WindowReport& rep) {
+        const std::uint64_t index = rlc_next++;
+        const sim::SimTime arrival =
+            data.next_free_time() + cfg.data_link.propagation_delay;
+        rlc_sources.push_back(RlcSource{p, arrival, survived});
+        if (survived) {
+            rlc_decoder->add_source(index, nullptr, 0,
+                                    sim::to_seconds(arrival));
+            rlc_drain_in_order();
+            rlc_prune_sources();
+        }
+        rlc_credit += cfg.rlc.overhead_num;
+        while (rlc_credit >= cfg.rlc.overhead_den) {
+            rlc_credit -= cfg.rlc.overhead_den;
+            rlc_send_repair(rep);
+        }
+    }
+
+    /// Emits one repair packet over the current elastic window and applies
+    /// on-the-fly recovery: newly decoded source packets are re-injected to
+    /// the client at the repair's arrival time.
+    void rlc_send_repair(WindowReport& rep) {
+        if (rlc_next == 0) return;  // no sources yet
+        const std::uint64_t base =
+            rlc_next > cfg.rlc.window_packets
+                ? rlc_next - cfg.rlc.window_packets
+                : 0;
+        RepairPacket rp;
+        rp.seq = next_seq++;
+        rp.window = rep.window;
+        rp.base = base;
+        rp.count = static_cast<std::size_t>(rlc_next - base);
+        rp.cseed = rlc_rng.next_u64();
+        rp.size_bits = cfg.packet_bits;
+        // Repairs ride the side band: they share the data path's loss
+        // process and arrival timing but never queue media packets behind
+        // them — the overhead ratio is the bandwidth cost, reported via
+        // rlc_repair_bits_sent, not a deadline penalty on the stream.
+        const std::size_t wire_bits = rp.size_bits + kPacketHeaderBits;
+        const bool ok = data.send_sideband(DataMsg{rp}, wire_bits);
+        ++rlc_repairs_sent;
+        rlc_repair_bits += wire_bits;
+        if (ok) {
+            packet_burst = 0;
+        } else {
+            ++packet_burst;
+            rep.actual_packet_burst =
+                std::max(rep.actual_packet_burst, packet_burst);
+            ++rlc_repairs_lost;
+        }
+        trace_event(obs::EventType::kRepairSent, obs::Actor::kServer,
+                    data.next_free_time(), rep.window, rp.seq,
+                    static_cast<std::int64_t>(rp.base),
+                    static_cast<double>(rp.count),
+                    static_cast<double>(rlc_decoder->rank()));
+        if (!ok) return;
+        const sim::SimTime arrival = data.next_free_time() +
+                                     data.serialization_time(wire_bits) +
+                                     cfg.data_link.propagation_delay;
+        const std::size_t before = rlc_decoder->decoded().size();
+        rlc_decoder->add_repair(rp.base, rp.count, rp.cseed, nullptr, 0,
+                                sim::to_seconds(arrival));
+        const auto& dec = rlc_decoder->decoded();
+        for (std::size_t i = before; i < dec.size(); ++i) {
+            const std::uint64_t idx = dec[i].index;
+            if (idx < rlc_lo) continue;
+            const RlcSource& src =
+                rlc_sources[static_cast<std::size_t>(idx - rlc_lo)];
+            queue.schedule_at(arrival, [this, pkt = src.header] {
+                receiver.on_packet(pkt, queue.now());
+            });
+            ++rlc_recovered;
+            if (cfg.collect_metrics) {
+                rlc_decode_delay_ms.add(
+                    static_cast<std::int64_t>((arrival - src.expect_arrival) /
+                                              1'000'000));
+            }
+            trace_event(obs::EventType::kFecRecovered, obs::Actor::kServer,
+                        arrival, rep.window, src.header.seq,
+                        static_cast<std::int64_t>(src.header.frame_index),
+                        sim::to_seconds(arrival - src.expect_arrival) * 1e3,
+                        static_cast<double>(rlc_decoder->rank()));
+        }
+        rlc_drain_in_order();
+        rlc_prune_sources();
+    }
+
+    /// Consumes new in-order delivery log entries, charging each delivered
+    /// source its extra in-order latency versus an uncoded direct arrival.
+    void rlc_drain_in_order() {
+        const auto& log = rlc_decoder->in_order_log();
+        for (; rlc_in_order_consumed < log.size(); ++rlc_in_order_consumed) {
+            const fec::RlcDecoder::InOrderEvent& e =
+                log[rlc_in_order_consumed];
+            rlc_frontier = e.index + 1;
+            if (e.lost || e.index < rlc_lo) continue;
+            if (cfg.collect_metrics) {
+                const RlcSource& src =
+                    rlc_sources[static_cast<std::size_t>(e.index - rlc_lo)];
+                const double delay_s =
+                    std::max(0.0, e.at - sim::to_seconds(src.expect_arrival));
+                rlc_in_order_delay_ms.add(
+                    static_cast<std::int64_t>(delay_s * 1e3));
+            }
+        }
+    }
+
+    /// Drops source-window state no longer reachable by the decoder or the
+    /// in-order frontier, keeping the deque bounded by the coding window.
+    void rlc_prune_sources() {
+        const std::uint64_t keep = std::min(rlc_decoder->base(), rlc_frontier);
+        while (rlc_lo < keep && !rlc_sources.empty()) {
+            rlc_sources.pop_front();
+            ++rlc_lo;
+        }
     }
 
     /// Emits parity packets for one FEC group and applies erasure recovery:
@@ -650,6 +800,13 @@ struct Session::Impl {
                               [this, k] { send_window(k); });
         }
         queue.run();
+        if (rlc_decoder.has_value()) {
+            // Stream over: whatever the code did not recover is lost for
+            // good; flush the in-order log so the delay accounting covers
+            // every delivered source packet.
+            rlc_decoder->close(sim::to_seconds(queue.now()));
+            rlc_drain_in_order();
+        }
 
         SessionResult result;
         result.windows = std::move(reports);
@@ -751,6 +908,22 @@ struct Session::Impl {
                           receiver.mismatch_dropped());
         }
 
+        // RLC accounting appears only for the coding schemes, keeping
+        // uncoded registries byte-identical to pre-FEC builds.
+        if (rlc_decoder.has_value()) {
+            m.add_counter("rlc_repairs_sent", rlc_repairs_sent);
+            m.add_counter("rlc_repairs_lost", rlc_repairs_lost);
+            m.add_counter("rlc_repairs_redundant",
+                          rlc_decoder->repairs_redundant());
+            m.add_counter("rlc_repair_bits_sent", rlc_repair_bits);
+            m.add_counter("rlc_packets_recovered", rlc_recovered);
+            m.add_counter("rlc_packets_unrecovered",
+                          rlc_decoder->symbols_lost());
+            m.add_counter("rlc_rank", rlc_decoder->rank());
+            m.histogram("rlc_decode_delay_ms").merge(rlc_decode_delay_ms);
+            m.histogram("rlc_in_order_delay_ms").merge(rlc_in_order_delay_ms);
+        }
+
         // Governor accounting appears only when the governor is enabled,
         // for the same reason: ungoverned registries must stay
         // byte-identical to pre-governor builds.
@@ -825,6 +998,27 @@ struct Session::Impl {
     std::vector<FecGroup> fec_groups;
     std::size_t fec_rr = 0;
     std::size_t fec_next_group_id = 0;
+
+    // Sliding-window RLC state (engaged iff cfg.rlc_active()).
+    struct RlcSource {
+        DataPacket header;            ///< for re-injection on recovery
+        sim::SimTime expect_arrival;  ///< when a direct arrival would land
+        bool survived;
+    };
+    std::optional<fec::RlcDecoder> rlc_decoder;  ///< rank-only mode
+    sim::Rng rlc_rng{0};                         ///< split 6, coded only
+    std::deque<RlcSource> rlc_sources;  ///< source indices [rlc_lo, rlc_next)
+    std::uint64_t rlc_lo = 0;
+    std::uint64_t rlc_next = 0;
+    std::uint64_t rlc_frontier = 0;  ///< in-order log consumed up to here
+    std::size_t rlc_in_order_consumed = 0;
+    std::size_t rlc_credit = 0;
+    std::size_t rlc_repairs_sent = 0;
+    std::size_t rlc_repairs_lost = 0;
+    std::size_t rlc_recovered = 0;
+    std::uint64_t rlc_repair_bits = 0;
+    sim::Histogram rlc_decode_delay_ms;    ///< loss -> decode, per recovery
+    sim::Histogram rlc_in_order_delay_ms;  ///< extra in-order latency
 
     std::uint64_t next_seq = 0;
     std::uint64_t ack_seq = 0;

@@ -35,6 +35,19 @@ struct DataPacket {
     std::size_t fec_group = 0;   ///< FEC group id within the window (if FEC on)
 };
 
+/// One repair packet of the sliding-window random-linear code (DESIGN.md
+/// §12): a GF(256) combination of the source packets [base, base+count).
+/// The coefficient vector never travels — the receiver re-expands it from
+/// `cseed` (fec::expand_coefficients), keeping the header constant-size.
+struct RepairPacket {
+    std::uint64_t seq = 0;       ///< global packet sequence number
+    std::size_t window = 0;      ///< buffer window it was emitted in
+    std::uint64_t base = 0;      ///< first source index in the combination
+    std::size_t count = 1;       ///< source packets combined, in [1, 255]
+    std::uint64_t cseed = 0;     ///< coefficient seed
+    std::size_t size_bits = 0;   ///< coded payload bits on the wire
+};
+
 /// End-of-window control record: tells the client how many frames were
 /// actually sent per layer, so sender-side deadline drops are not mistaken
 /// for network losses when estimating the burst bound.  Subject to loss

@@ -1,0 +1,24 @@
+// Fixture: D4 — FEC-arm trace-sink sites.  The repair-send and
+// decode-recovery paths emit kRepairSent / kFecRecovered events; each site
+// must gate on the sink pointer so a traceless session pays only a branch.
+// Line numbers are asserted exactly by test_lint.cpp.
+
+namespace espread::obs {
+struct TraceEvent {};
+struct TraceSink {
+    virtual void record(const TraceEvent&) = 0;
+};
+}  // namespace espread::obs
+
+namespace espread::fec {
+
+void on_repair_sent(obs::TraceSink* trace, const obs::TraceEvent& e) {
+    trace->record(e);  // line 16: D4 — repair-send site without a gate
+}
+
+void on_decode_recovered(obs::TraceSink* trace, const obs::TraceEvent& e) {
+    if (trace == nullptr) return;
+    trace->record(e);  // gated: clean
+}
+
+}  // namespace espread::fec

@@ -1,0 +1,37 @@
+// Fixture: D3 — `default:` label in a switch over the Scheme contract
+// enum.  The enum carries the RLC variants; a default label would silently
+// swallow any future coded arm.  Line numbers are asserted exactly by
+// test_lint.cpp.
+
+namespace espread::proto {
+
+enum class Scheme {
+    kInOrder,
+    kLayeredNoScramble,
+    kLayeredIbo,
+    kLayeredSpread,
+    kRlc,
+    kHybridSpreadRlc,
+};
+
+bool uses_rlc_default(Scheme s) {
+    switch (s) {
+        case Scheme::kRlc: return true;
+        case Scheme::kHybridSpreadRlc: return true;
+        default: return false;  // line 21: D3 — hides unseen schemes
+    }
+}
+
+bool uses_rlc_exhaustive(Scheme s) {
+    switch (s) {
+        case Scheme::kInOrder: return false;
+        case Scheme::kLayeredNoScramble: return false;
+        case Scheme::kLayeredIbo: return false;
+        case Scheme::kLayeredSpread: return false;
+        case Scheme::kRlc: return true;
+        case Scheme::kHybridSpreadRlc: return true;
+    }
+    return false;
+}
+
+}  // namespace espread::proto

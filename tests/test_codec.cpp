@@ -59,6 +59,34 @@ TEST(Codec, HeaderFitsTheBudgetedHeaderBits) {
     EXPECT_LE(data_packet_header_bytes() * 8, 256u);
 }
 
+TEST(Codec, RepairPacketRoundTrip) {
+    espread::proto::RepairPacket rp;
+    rp.seq = 0x0A0B0C0DULL;  // repair headers carry seq as 32-bit on the wire
+    rp.window = 17;
+    rp.base = 0x01020304ULL;
+    rp.count = 96;
+    rp.cseed = 0x1122334455667788ULL;
+    rp.size_bits = 16384;
+    const auto bytes = encode(rp);
+    EXPECT_EQ(bytes.size(), espread::proto::repair_packet_header_bytes());
+    const auto q = espread::proto::decode_repair(bytes);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(q->seq, rp.seq);
+    EXPECT_EQ(q->window, rp.window);
+    EXPECT_EQ(q->base, rp.base);
+    EXPECT_EQ(q->count, rp.count);
+    EXPECT_EQ(q->cseed, rp.cseed);
+    EXPECT_EQ(q->size_bits, rp.size_bits);
+    EXPECT_EQ(peek_type(bytes), WireType::kRepair);
+    // Other decoders must refuse the record.
+    EXPECT_FALSE(decode_data(bytes).has_value());
+    EXPECT_FALSE(decode_trailer(bytes).has_value());
+}
+
+TEST(Codec, RepairHeaderFitsTheBudgetedHeaderBits) {
+    EXPECT_LE(espread::proto::repair_packet_header_bytes() * 8, 256u);
+}
+
 TEST(Codec, TrailerRoundTrip) {
     WindowTrailer t;
     t.seq = 77;

@@ -283,6 +283,60 @@ TEST(Engine, GovernedShardCountInvariance) {
     EXPECT_NE(one, run_to_json(off, 1, 64));
 }
 
+// Shard invariance holds with the FEC-lite coded arm enabled: the repair
+// draws ride each slot's own Gilbert chain, so cutting the slot axis
+// differently cannot change the summaries (ISSUE 8 acceptance: coded
+// fleet summaries byte-identical across shards 1, 2, and 8).
+TEST(Engine, CodedShardCountInvariance) {
+    EngineConfig cfg = churny_config();
+    cfg.fec.enabled = true;
+    cfg.fec.overhead_num = 1;
+    cfg.fec.overhead_den = 5;
+    const std::string one = run_to_json(cfg, 1, 64);
+    EXPECT_EQ(one, run_to_json(cfg, 2, 64));
+    EXPECT_EQ(one, run_to_json(cfg, 8, 64));
+    // And the coded arm is not a no-op relative to the uncoded run.
+    EngineConfig off = churny_config();
+    EXPECT_NE(one, run_to_json(off, 1, 64));
+}
+
+// The coded pool-of-one matches the scalar reference window for window:
+// repair survival draws, the all-or-nothing recovery decision, and the
+// untouched transmission-order feedback all line up.
+TEST(Engine, CodedPoolOfOneMatchesReference) {
+    EngineConfig cfg;
+    cfg.sessions = 1;
+    cfg.shards = 1;
+    cfg.window_ldus = 24;
+    cfg.packets_per_ldu = 2;
+    cfg.feedback_loss = {0.9, 0.5};
+    cfg.fec.enabled = true;
+    cfg.fec.overhead_num = 1;
+    cfg.fec.overhead_den = 4;
+    cfg.seed = 123;
+    constexpr std::size_t kWindows = 200;
+
+    ShardedEngine engine(cfg);
+    engine.run(kWindows);
+    const EngineSummary s = engine.summary();
+
+    const ReferenceTrace ref = run_reference_session(cfg, 0, kWindows);
+    EXPECT_EQ(s.windows, kWindows);
+    EXPECT_EQ(s.unit_losses, ref.unit_losses);
+    EXPECT_EQ(s.acks_delivered, ref.acks_delivered);
+    EXPECT_EQ(s.acks_lost, ref.acks_lost);
+    EXPECT_EQ(s.fec_repair_packets, ref.fec_repair_packets);
+    EXPECT_EQ(s.fec_windows_recovered, ref.fec_windows_recovered);
+    EXPECT_EQ(s.clf_max,
+              *std::max_element(ref.window_clf.begin(), ref.window_clf.end()));
+    // The arm must actually fire in both directions on this channel.
+    EXPECT_GT(s.fec_windows_recovered, 0u);
+    EXPECT_GT(s.fec_windows_unrecovered, 0u);
+    const double clf_sum = std::accumulate(
+        ref.window_clf.begin(), ref.window_clf.end(), 0.0);
+    EXPECT_DOUBLE_EQ(s.clf_mean, clf_sum / static_cast<double>(kWindows));
+}
+
 // Config validation rejects out-of-range parameters before any arena is
 // built.
 TEST(Engine, ValidatesConfig) {
@@ -301,6 +355,10 @@ TEST(Engine, ValidatesConfig) {
     EXPECT_THROW(ShardedEngine{cfg}, std::invalid_argument);
     cfg = EngineConfig{};
     cfg.data_loss.p_good = 1.25;
+    EXPECT_THROW(ShardedEngine{cfg}, std::invalid_argument);
+    cfg = EngineConfig{};
+    cfg.fec.enabled = true;
+    cfg.fec.overhead_den = 0;
     EXPECT_THROW(ShardedEngine{cfg}, std::invalid_argument);
 }
 

@@ -1,0 +1,495 @@
+// GF(256) field axioms (exhaustive over all 256x256 pairs) and the
+// sliding-window RLC encoder/decoder invariant suite (ISSUE 8):
+//   - table-driven multiply agrees with the bitwise reference everywhere,
+//   - mul/div/inverse round-trip exhaustively, distributivity and
+//     associativity hold (exhaustive resp. sampled),
+//   - received rank never decreases,
+//   - decode => re-encode reproduces every repair payload,
+//   - rank-only mode takes the exact decode decisions of payload mode,
+//   - window expiry resolves undecoded symbols as losses and the in-order
+//     delivery log stays monotone with correct timestamps.
+#include "fec/gf256.hpp"
+#include "fec/rlc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace {
+
+using espread::fec::RlcDecoder;
+using espread::fec::RlcEncoder;
+using espread::fec::RepairSymbol;
+using espread::fec::expand_coefficients;
+using espread::fec::gf_add;
+using espread::fec::gf_div;
+using espread::fec::gf_inv;
+using espread::fec::gf_mul;
+using espread::fec::gf_mul_ref;
+using espread::fec::gf_mul_row;
+using espread::fec::gf_mul_row_add;
+using espread::sim::Rng;
+
+// ---------------------------------------------------------------------------
+// Field axioms
+
+TEST(Gf256, TableMultiplyMatchesBitwiseReferenceExhaustively) {
+    for (unsigned a = 0; a < 256; ++a) {
+        for (unsigned b = 0; b < 256; ++b) {
+            ASSERT_EQ(gf_mul(static_cast<std::uint8_t>(a),
+                             static_cast<std::uint8_t>(b)),
+                      gf_mul_ref(static_cast<std::uint8_t>(a),
+                                 static_cast<std::uint8_t>(b)))
+                << "a=" << a << " b=" << b;
+        }
+    }
+}
+
+TEST(Gf256, MultiplicationIsCommutativeExhaustively) {
+    for (unsigned a = 0; a < 256; ++a) {
+        for (unsigned b = a; b < 256; ++b) {
+            ASSERT_EQ(gf_mul(static_cast<std::uint8_t>(a),
+                             static_cast<std::uint8_t>(b)),
+                      gf_mul(static_cast<std::uint8_t>(b),
+                             static_cast<std::uint8_t>(a)));
+        }
+    }
+}
+
+TEST(Gf256, MulDivRoundTripExhaustively) {
+    for (unsigned a = 0; a < 256; ++a) {
+        for (unsigned b = 1; b < 256; ++b) {
+            const std::uint8_t p = gf_mul(static_cast<std::uint8_t>(a),
+                                          static_cast<std::uint8_t>(b));
+            ASSERT_EQ(gf_div(p, static_cast<std::uint8_t>(b)), a)
+                << "a=" << a << " b=" << b;
+            const std::uint8_t q = gf_div(static_cast<std::uint8_t>(a),
+                                          static_cast<std::uint8_t>(b));
+            ASSERT_EQ(gf_mul(q, static_cast<std::uint8_t>(b)), a)
+                << "a=" << a << " b=" << b;
+        }
+    }
+}
+
+TEST(Gf256, InverseRoundTripExhaustively) {
+    for (unsigned a = 1; a < 256; ++a) {
+        const std::uint8_t inv = gf_inv(static_cast<std::uint8_t>(a));
+        ASSERT_NE(inv, 0);
+        ASSERT_EQ(gf_mul(static_cast<std::uint8_t>(a), inv), 1) << "a=" << a;
+        ASSERT_EQ(gf_inv(inv), a) << "a=" << a;
+    }
+}
+
+TEST(Gf256, IdentityAndZeroLawsExhaustively) {
+    for (unsigned a = 0; a < 256; ++a) {
+        const auto v = static_cast<std::uint8_t>(a);
+        ASSERT_EQ(gf_mul(v, 1), v);
+        ASSERT_EQ(gf_mul(1, v), v);
+        ASSERT_EQ(gf_mul(v, 0), 0);
+        ASSERT_EQ(gf_mul(0, v), 0);
+        ASSERT_EQ(gf_add(v, v), 0);  // characteristic 2
+        ASSERT_EQ(gf_add(v, 0), v);
+    }
+}
+
+TEST(Gf256, DistributivityHoldsExhaustively) {
+    // All 2^24 triples: a*(b+c) == a*b + a*c.  Table lookups keep this well
+    // under a second.
+    for (unsigned a = 0; a < 256; ++a) {
+        const auto av = static_cast<std::uint8_t>(a);
+        for (unsigned b = 0; b < 256; ++b) {
+            const auto bv = static_cast<std::uint8_t>(b);
+            const std::uint8_t ab = gf_mul(av, bv);
+            for (unsigned c = 0; c < 256; ++c) {
+                const auto cv = static_cast<std::uint8_t>(c);
+                ASSERT_EQ(gf_mul(av, gf_add(bv, cv)),
+                          gf_add(ab, gf_mul(av, cv)))
+                    << "a=" << a << " b=" << b << " c=" << c;
+            }
+        }
+    }
+}
+
+TEST(Gf256, AssociativitySampled) {
+    Rng rng{0xA550C};
+    for (int i = 0; i < 200'000; ++i) {
+        const auto a = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        const auto b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        const auto c = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        ASSERT_EQ(gf_mul(gf_mul(a, b), c), gf_mul(a, gf_mul(b, c)));
+    }
+}
+
+TEST(Gf256, RowKernelsMatchScalarReference) {
+    Rng rng{0x90F};
+    for (int iter = 0; iter < 64; ++iter) {
+        const std::size_t n = static_cast<std::size_t>(
+            rng.uniform_int(0, 300));
+        const auto c = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        std::vector<std::uint8_t> dst(n), src(n), expect(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            dst[i] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+            src[i] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+            expect[i] = gf_add(dst[i], gf_mul_ref(c, src[i]));
+        }
+        std::vector<std::uint8_t> got = dst;
+        gf_mul_row_add(got.data(), src.data(), n, c);
+        EXPECT_EQ(got, expect) << "c=" << static_cast<int>(c);
+
+        std::vector<std::uint8_t> scaled = dst;
+        gf_mul_row(scaled.data(), n, c);
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(scaled[i], gf_mul_ref(c, dst[i]));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coefficient expansion
+
+TEST(Coefficients, ExpansionIsDeterministicAndNeverAllZero) {
+    std::uint8_t a[espread::fec::kMaxWindow];
+    std::uint8_t b[espread::fec::kMaxWindow];
+    Rng rng{42};
+    for (int iter = 0; iter < 2'000; ++iter) {
+        const std::uint64_t cseed = rng.next_u64();
+        const std::size_t count =
+            static_cast<std::size_t>(rng.uniform_int(1, 255));
+        expand_coefficients(cseed, count, a);
+        expand_coefficients(cseed, count, b);
+        bool all_zero = true;
+        for (std::size_t i = 0; i < count; ++i) {
+            ASSERT_EQ(a[i], b[i]);
+            if (a[i] != 0) all_zero = false;
+        }
+        EXPECT_FALSE(all_zero);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoder / decoder invariants
+
+constexpr std::size_t kSym = 24;  ///< payload bytes per symbol in these tests
+
+std::vector<std::uint8_t> random_symbol(Rng& rng) {
+    std::vector<std::uint8_t> s(kSym);
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    return s;
+}
+
+/// Recomputes a repair payload from the original source symbols; the
+/// "decode => re-encode reproduces every repair packet" oracle.
+std::vector<std::uint8_t> recombine(
+    const RepairSymbol& rep,
+    const std::vector<std::vector<std::uint8_t>>& sources) {
+    std::uint8_t coeffs[espread::fec::kMaxWindow];
+    expand_coefficients(rep.cseed, rep.count, coeffs);
+    std::vector<std::uint8_t> out(kSym, 0);
+    for (std::size_t j = 0; j < rep.count; ++j) {
+        gf_mul_row_add(out.data(),
+                       sources[static_cast<std::size_t>(rep.base) + j].data(),
+                       kSym, coeffs[j]);
+    }
+    return out;
+}
+
+TEST(RlcEncoder, RepairsAreWindowCombinationsOfTheSources) {
+    Rng rng{7};
+    RlcEncoder enc(8, kSym, 123);
+    std::vector<std::vector<std::uint8_t>> sources;
+    for (int i = 0; i < 40; ++i) {
+        sources.push_back(random_symbol(rng));
+        enc.add_source(sources.back().data(), kSym);
+        if (i % 3 == 2) {
+            const RepairSymbol rep = enc.make_repair();
+            EXPECT_LE(rep.count, 8u);
+            EXPECT_EQ(rep.base + rep.count, enc.next_index());
+            EXPECT_EQ(recombine(rep, sources), rep.payload);
+        }
+    }
+}
+
+/// Drives encoder + lossy channel + decoder; checks rank monotonicity and
+/// payload correctness throughout.  Returns the decoder for extra checks.
+struct LossyRun {
+    std::size_t losses = 0;
+    std::size_t recovered = 0;
+    std::size_t repairs = 0;
+};
+
+LossyRun run_lossy(std::uint64_t seed, double loss_p, std::size_t window,
+                   std::size_t n_sources, std::size_t repair_every,
+                   RlcDecoder& dec) {
+    Rng rng{seed};
+    RlcEncoder enc(window, kSym, seed ^ 0xC0DE);
+    std::vector<std::vector<std::uint8_t>> sources;
+    LossyRun out;
+    double t = 0.0;
+    std::size_t last_rank = 0;
+    for (std::size_t i = 0; i < n_sources; ++i) {
+        sources.push_back(random_symbol(rng));
+        const std::uint64_t idx = enc.add_source(sources.back().data(), kSym);
+        t += 1.0;
+        if (rng.bernoulli(loss_p)) {
+            ++out.losses;
+        } else {
+            dec.add_source(idx, sources.back().data(), kSym, t);
+        }
+        EXPECT_GE(dec.rank(), last_rank) << "rank decreased";
+        last_rank = dec.rank();
+        if ((i + 1) % repair_every == 0) {
+            const RepairSymbol rep = enc.make_repair();
+            ++out.repairs;
+            t += 0.25;
+            const std::size_t before = dec.decoded().size();
+            dec.add_repair(rep.base, rep.count, rep.cseed,
+                           rep.payload.data(), rep.payload.size(), t);
+            EXPECT_GE(dec.rank(), last_rank) << "rank decreased";
+            last_rank = dec.rank();
+            // Every newly decoded symbol must reproduce the original.
+            for (std::size_t d = before; d < dec.decoded().size(); ++d) {
+                const std::uint64_t di = dec.decoded()[d].index;
+                const std::uint8_t* got = dec.payload(di);
+                EXPECT_NE(got, nullptr);
+                if (got == nullptr) continue;
+                EXPECT_EQ(std::vector<std::uint8_t>(got, got + kSym),
+                          sources[static_cast<std::size_t>(di)])
+                    << "decoded payload mismatch at " << di;
+                ++out.recovered;
+            }
+        }
+    }
+    dec.close(t + 1.0);
+    return out;
+}
+
+TEST(RlcDecoder, RecoversLossesAndNeverDecreasesRank) {
+    RlcDecoder dec(16, kSym);
+    const LossyRun r = run_lossy(0xBEEF, 0.15, 16, 160, 4, dec);
+    EXPECT_GT(r.losses, 0u);
+    EXPECT_GT(r.recovered, 0u);
+    // 25% repair overhead against 15% loss: most losses are recoverable.
+    EXPECT_GE(r.recovered * 2, r.losses);
+    EXPECT_EQ(r.recovered, dec.decoded().size());
+    // Everything resolved at close: delivered + lost covers all sources.
+    EXPECT_EQ(dec.in_order_log().size(), 160u);
+    EXPECT_EQ(dec.symbols_lost() + dec.sources_received() + r.recovered, 160u);
+}
+
+TEST(RlcDecoder, CleanChannelDecodesNothingAndFlagsRepairsRedundant) {
+    RlcDecoder dec(16, kSym);
+    const LossyRun r = run_lossy(0x5EED, 0.0, 16, 64, 4, dec);
+    EXPECT_EQ(r.losses, 0u);
+    EXPECT_EQ(dec.decoded().size(), 0u);
+    EXPECT_EQ(dec.repairs_redundant(), r.repairs);
+    EXPECT_EQ(dec.rank(), 64u);
+}
+
+TEST(RlcDecoder, RankOnlyModeTakesIdenticalDecodeDecisions) {
+    for (std::uint64_t seed : {1ull, 2ull, 3ull, 0xFACEull}) {
+        RlcDecoder full(12, kSym);
+        RlcDecoder rank_only(12, 0);
+
+        Rng rng{seed};
+        RlcEncoder enc(12, kSym, seed);
+        std::vector<std::vector<std::uint8_t>> sources;
+        double t = 0.0;
+        for (std::size_t i = 0; i < 120; ++i) {
+            sources.push_back(random_symbol(rng));
+            const std::uint64_t idx =
+                enc.add_source(sources.back().data(), kSym);
+            t += 1.0;
+            if (!rng.bernoulli(0.2)) {
+                full.add_source(idx, sources.back().data(), kSym, t);
+                rank_only.add_source(idx, nullptr, 0, t);
+            }
+            if (i % 3 == 0) {
+                const RepairSymbol rep = enc.make_repair();
+                t += 0.5;
+                full.add_repair(rep.base, rep.count, rep.cseed,
+                                rep.payload.data(), rep.payload.size(), t);
+                rank_only.add_repair(rep.base, rep.count, rep.cseed, nullptr,
+                                     0, t);
+            }
+        }
+        full.close(t);
+        rank_only.close(t);
+
+        EXPECT_EQ(full.rank(), rank_only.rank());
+        EXPECT_EQ(full.repairs_redundant(), rank_only.repairs_redundant());
+        EXPECT_EQ(full.symbols_lost(), rank_only.symbols_lost());
+        ASSERT_EQ(full.decoded().size(), rank_only.decoded().size());
+        for (std::size_t i = 0; i < full.decoded().size(); ++i) {
+            EXPECT_EQ(full.decoded()[i].index, rank_only.decoded()[i].index);
+            EXPECT_EQ(full.decoded()[i].at, rank_only.decoded()[i].at);
+        }
+        ASSERT_EQ(full.in_order_log().size(), rank_only.in_order_log().size());
+        for (std::size_t i = 0; i < full.in_order_log().size(); ++i) {
+            EXPECT_EQ(full.in_order_log()[i].index,
+                      rank_only.in_order_log()[i].index);
+            EXPECT_EQ(full.in_order_log()[i].lost,
+                      rank_only.in_order_log()[i].lost);
+            EXPECT_EQ(full.in_order_log()[i].at, rank_only.in_order_log()[i].at);
+        }
+    }
+}
+
+TEST(RlcDecoder, AllOrNothingUntilRankCoversTheDeficit) {
+    // Two losses in one window: one repair leaves a rank deficit (nothing
+    // decodes), the second closes it (both decode at once).
+    RlcDecoder dec(8, kSym);
+    Rng rng{99};
+    RlcEncoder enc(8, kSym, 7);
+    std::vector<std::vector<std::uint8_t>> sources;
+    for (std::size_t i = 0; i < 6; ++i) {
+        sources.push_back(random_symbol(rng));
+        enc.add_source(sources.back().data(), kSym);
+        if (i != 2 && i != 4) {  // drop sources 2 and 4
+            dec.add_source(i, sources[i].data(), kSym, static_cast<double>(i));
+        }
+    }
+    const RepairSymbol r1 = enc.make_repair();
+    dec.add_repair(r1.base, r1.count, r1.cseed, r1.payload.data(),
+                   r1.payload.size(), 10.0);
+    EXPECT_EQ(dec.decoded().size(), 0u) << "decoded below full rank";
+    const RepairSymbol r2 = enc.make_repair();
+    dec.add_repair(r2.base, r2.count, r2.cseed, r2.payload.data(),
+                   r2.payload.size(), 11.0);
+    ASSERT_EQ(dec.decoded().size(), 2u);
+    EXPECT_EQ(dec.decoded()[0].at, 11.0);
+    const std::uint8_t* p2 = dec.payload(2);
+    const std::uint8_t* p4 = dec.payload(4);
+    ASSERT_NE(p2, nullptr);
+    ASSERT_NE(p4, nullptr);
+    EXPECT_EQ(std::vector<std::uint8_t>(p2, p2 + kSym), sources[2]);
+    EXPECT_EQ(std::vector<std::uint8_t>(p4, p4 + kSym), sources[4]);
+}
+
+TEST(RlcDecoder, WindowExpiryDeclaresUnrecoveredSymbolsLost) {
+    RlcDecoder dec(4, kSym);
+    Rng rng{5};
+    std::vector<std::vector<std::uint8_t>> sources;
+    for (std::size_t i = 0; i < 10; ++i) {
+        sources.push_back(random_symbol(rng));
+        if (i == 1) continue;  // symbol 1 is never delivered
+        dec.add_source(i, sources[i].data(), kSym, static_cast<double>(i));
+    }
+    // Source 5 arriving proved the window [2, 5]; symbol 1 expired then.
+    EXPECT_EQ(dec.symbols_lost(), 1u);
+    bool saw_lost = false;
+    for (const auto& e : dec.in_order_log()) {
+        if (e.index == 1) {
+            EXPECT_TRUE(e.lost);
+            saw_lost = true;
+        } else {
+            EXPECT_FALSE(e.lost);
+        }
+    }
+    EXPECT_TRUE(saw_lost);
+    // The in-order log is monotone in index and time.
+    for (std::size_t i = 1; i < dec.in_order_log().size(); ++i) {
+        EXPECT_EQ(dec.in_order_log()[i].index,
+                  dec.in_order_log()[i - 1].index + 1);
+        EXPECT_GE(dec.in_order_log()[i].at, dec.in_order_log()[i - 1].at);
+    }
+}
+
+TEST(RlcDecoder, InOrderTimestampsWaitForTheBlockingSymbol) {
+    RlcDecoder dec(8, kSym);
+    Rng rng{11};
+    RlcEncoder enc(8, kSym, 3);
+    std::vector<std::vector<std::uint8_t>> sources;
+    for (std::size_t i = 0; i < 3; ++i) {
+        sources.push_back(random_symbol(rng));
+        enc.add_source(sources[i].data(), kSym);
+        if (i != 1) {
+            dec.add_source(i, sources[i].data(), kSym,
+                           static_cast<double>(i + 1));
+        }
+    }
+    const RepairSymbol rep = enc.make_repair();
+    dec.add_repair(rep.base, rep.count, rep.cseed, rep.payload.data(),
+                   rep.payload.size(), 9.0);
+    // 0 delivered at t=1; 1 decoded at t=9; 2 arrived at t=3 but is only
+    // in-order deliverable once 1 resolved, i.e. at t=9.
+    ASSERT_EQ(dec.in_order_log().size(), 3u);
+    EXPECT_EQ(dec.in_order_log()[0].at, 1.0);
+    EXPECT_EQ(dec.in_order_log()[1].at, 9.0);
+    EXPECT_EQ(dec.in_order_log()[2].at, 9.0);
+}
+
+TEST(RlcDecoder, DuplicatesAndStalePacketsAreCountedNotCrashed) {
+    RlcDecoder dec(4, kSym);
+    Rng rng{1};
+    std::vector<std::uint8_t> s = random_symbol(rng);
+    dec.add_source(0, s.data(), kSym, 1.0);
+    dec.add_source(0, s.data(), kSym, 2.0);  // duplicate
+    EXPECT_EQ(dec.stale_packets(), 1u);
+    dec.add_source(9, s.data(), kSym, 3.0);  // window now starts at 6
+    dec.add_source(2, s.data(), kSym, 4.0);  // below the base: stale
+    EXPECT_EQ(dec.stale_packets(), 2u);
+    EXPECT_EQ(dec.rank(), 2u);
+}
+
+TEST(RlcDecoder, DecodeImpliesReEncodeForEveryAcceptedRepair) {
+    // After a lossy run, re-expand every repair over fully-resolved spans
+    // and check the combination of the (decoded or received) originals
+    // reproduces the repair payload byte for byte.
+    Rng rng{0xD0D0};
+    RlcEncoder enc(10, kSym, 77);
+    RlcDecoder dec(10, kSym);
+    std::vector<std::vector<std::uint8_t>> sources;
+    std::vector<RepairSymbol> repairs;
+    std::map<std::uint64_t, std::vector<std::uint8_t>> resolved;
+    double t = 0.0;
+    for (std::size_t i = 0; i < 80; ++i) {
+        sources.push_back(random_symbol(rng));
+        const std::uint64_t idx = enc.add_source(sources.back().data(), kSym);
+        t += 1.0;
+        const std::size_t before = dec.decoded().size();
+        if (!rng.bernoulli(0.25)) {
+            dec.add_source(idx, sources.back().data(), kSym, t);
+            resolved[idx] = sources.back();
+        }
+        if (i % 2 == 1) {
+            const RepairSymbol rep = enc.make_repair();
+            repairs.push_back(rep);
+            t += 0.5;
+            dec.add_repair(rep.base, rep.count, rep.cseed,
+                           rep.payload.data(), rep.payload.size(), t);
+        }
+        for (std::size_t d = before; d < dec.decoded().size(); ++d) {
+            const std::uint64_t di = dec.decoded()[d].index;
+            const std::uint8_t* got = dec.payload(di);
+            ASSERT_NE(got, nullptr);
+            resolved[di] = std::vector<std::uint8_t>(got, got + kSym);
+        }
+    }
+    std::size_t verified = 0;
+    for (const RepairSymbol& rep : repairs) {
+        bool full_span = true;
+        for (std::size_t j = 0; j < rep.count; ++j) {
+            if (resolved.find(rep.base + j) == resolved.end()) {
+                full_span = false;
+                break;
+            }
+        }
+        if (!full_span) continue;
+        std::uint8_t coeffs[espread::fec::kMaxWindow];
+        expand_coefficients(rep.cseed, rep.count, coeffs);
+        std::vector<std::uint8_t> combo(kSym, 0);
+        for (std::size_t j = 0; j < rep.count; ++j) {
+            gf_mul_row_add(combo.data(), resolved[rep.base + j].data(), kSym,
+                           coeffs[j]);
+        }
+        EXPECT_EQ(combo, rep.payload) << "re-encode mismatch";
+        ++verified;
+    }
+    EXPECT_GT(verified, 10u) << "too few fully-resolved repairs to be meaningful";
+}
+
+}  // namespace

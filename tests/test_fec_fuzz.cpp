@@ -1,0 +1,289 @@
+// Deterministic structure-aware fuzz harness for the streaming-FEC arm
+// (ISSUE 8 satellite): the RepairPacket wire record and the RLC decoder.
+//
+// 100k+ seeded inputs per run, in the style of test_codec_fuzz: valid
+// repair records, bit-flipped records (stale checksum), truncations,
+// extensions, count-field lies resealed with a valid checksum (so the
+// decoder's field validation — not the CRC — must hold the line), and pure
+// random bodies under a valid checksum.  Invariants:
+//   (1) never crash, never read out of bounds (ASan/UBSan CI job),
+//   (2) accept => canonical: re-encoding the decoded record reproduces the
+//       input bytes exactly,
+//   (3) the whole corpus is a pure function of the seed.
+// A second engine drives the RlcDecoder itself through adversarial call
+// sequences (wild bases, spans, duplicate/stale/expired symbols) and pins
+// the structural invariants: rank never decreases, and the rank-only mode
+// takes byte-for-byte the decode decisions of payload mode.  The same
+// engines back the optional libFuzzer target (tests/fuzz_fec.cpp,
+// -DESPREAD_LIBFUZZER=ON).
+#include "fec/rlc.hpp"
+#include "protocol/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace {
+
+using espread::fec::RlcDecoder;
+using espread::proto::RepairPacket;
+using espread::proto::decode_data;
+using espread::proto::decode_feedback;
+using espread::proto::decode_repair;
+using espread::proto::decode_trailer;
+using espread::proto::encode;
+using espread::proto::peek_type;
+using espread::proto::repair_packet_header_bytes;
+using espread::proto::wire_checksum;
+using espread::sim::Rng;
+
+/// Recomputes the trailing CRC so structurally-mutated bodies still pass
+/// the checksum gate and exercise the field-level validation.
+std::vector<std::uint8_t> reseal(std::vector<std::uint8_t> bytes) {
+    if (bytes.size() < 2) return bytes;
+    bytes.resize(bytes.size() - 2);
+    const std::uint16_t crc = wire_checksum(bytes.data(), bytes.size());
+    bytes.push_back(static_cast<std::uint8_t>(crc >> 8));
+    bytes.push_back(static_cast<std::uint8_t>(crc));
+    return bytes;
+}
+
+RepairPacket random_repair(Rng& r) {
+    RepairPacket p;
+    p.seq = r.uniform_int(0, 0xFFFFFFFFull);
+    p.window = r.uniform_int(0, 0xFFFFFFFFull);
+    p.base = r.uniform_int(0, 0xFFFFFFFFull);
+    p.count = r.uniform_int(1, 0xFF);
+    p.cseed = r.next_u64();
+    p.size_bits = r.uniform_int(0, 0xFFFFFFFFull);
+    return p;
+}
+
+/// Offset of the one-byte `count` field inside an encoded RepairPacket:
+/// tag(1) + seq(4) + window(4) + base(4).
+constexpr std::size_t kCountOffset = 13;
+
+std::vector<std::uint8_t> mutate(Rng& r) {
+    std::vector<std::uint8_t> bytes = encode(random_repair(r));
+    switch (r.uniform_int(0, 5)) {
+        case 0:  // valid record
+            return bytes;
+        case 1: {  // bit flips, checksum left stale
+            const std::size_t flips =
+                static_cast<std::size_t>(r.uniform_int(1, 8));
+            for (std::size_t i = 0; i < flips; ++i) {
+                const std::size_t pos = static_cast<std::size_t>(
+                    r.uniform_int(0, bytes.size() - 1));
+                bytes[pos] ^= static_cast<std::uint8_t>(
+                    1u << r.uniform_int(0, 7));
+            }
+            return bytes;
+        }
+        case 2: {  // truncation
+            bytes.resize(
+                static_cast<std::size_t>(r.uniform_int(0, bytes.size() - 1)));
+            return bytes;
+        }
+        case 3: {  // extension, resealed
+            const std::size_t extra =
+                static_cast<std::size_t>(r.uniform_int(1, 16));
+            for (std::size_t i = 0; i < extra; ++i) {
+                bytes.push_back(
+                    static_cast<std::uint8_t>(r.uniform_int(0, 255)));
+            }
+            return reseal(bytes);
+        }
+        case 4:  // count-field lie (including the non-canonical 0), resealed
+            bytes[kCountOffset] =
+                static_cast<std::uint8_t>(r.uniform_int(0, 255));
+            return reseal(bytes);
+        default: {  // random body under the repair tag, resealed
+            const std::size_t n =
+                static_cast<std::size_t>(r.uniform_int(3, 64));
+            std::vector<std::uint8_t> junk(n);
+            junk[0] = 4;  // WireType::kRepair
+            for (std::size_t i = 1; i < n; ++i) {
+                junk[i] = static_cast<std::uint8_t>(r.uniform_int(0, 255));
+            }
+            return reseal(junk);
+        }
+    }
+}
+
+struct Tally {
+    std::size_t accepted = 0;
+    std::size_t rejected = 0;
+    std::uint64_t byte_mix = 0;  ///< order-sensitive digest of the corpus
+};
+
+void check_one(const std::vector<std::uint8_t>& bytes, Tally& tally) {
+    (void)peek_type(bytes);
+    // Foreign decoders must reject or stay canonical on repair bytes too.
+    if (const auto d = decode_data(bytes)) {
+        ASSERT_EQ(encode(*d), bytes);
+    }
+    if (const auto t = decode_trailer(bytes)) {
+        ASSERT_EQ(encode(*t), bytes);
+    }
+    if (const auto f = decode_feedback(bytes)) {
+        ASSERT_EQ(encode(*f), bytes);
+    }
+    if (const auto rep = decode_repair(bytes)) {
+        ASSERT_EQ(encode(*rep), bytes)
+            << "accepted repair record is not canonical";
+        ASSERT_GE(rep->count, 1u);
+        ASSERT_LE(rep->count, 255u);
+        ++tally.accepted;
+    } else {
+        ++tally.rejected;
+    }
+    for (const std::uint8_t b : bytes) {
+        tally.byte_mix = tally.byte_mix * 1099511628211ull + b;
+    }
+}
+
+TEST(FecWireFuzz, HundredThousandMutatedRepairRecordsNeverBreakTheCodec) {
+    Rng rng{0xF3CC0DEull};
+    Tally tally;
+    constexpr std::size_t kIterations = 100'000;
+    for (std::size_t i = 0; i < kIterations; ++i) {
+        check_one(mutate(rng), tally);
+    }
+    EXPECT_EQ(tally.accepted + tally.rejected, kIterations);
+    // The corpus must exercise both outcomes heavily.
+    EXPECT_GT(tally.accepted, kIterations / 20);
+    EXPECT_GT(tally.rejected, kIterations / 20);
+}
+
+TEST(FecWireFuzz, CorpusIsAPureFunctionOfTheSeed) {
+    Tally first, second;
+    for (Tally* t : {&first, &second}) {
+        Rng rng{20260808};
+        for (std::size_t i = 0; i < 5'000; ++i) check_one(mutate(rng), *t);
+    }
+    EXPECT_EQ(first.accepted, second.accepted);
+    EXPECT_EQ(first.rejected, second.rejected);
+    EXPECT_EQ(first.byte_mix, second.byte_mix);
+}
+
+TEST(FecWireFuzz, BitFlippedValidRepairsAlwaysCaughtByChecksum) {
+    Rng rng{77};
+    for (int iter = 0; iter < 2'000; ++iter) {
+        std::vector<std::uint8_t> bytes = encode(random_repair(rng));
+        const std::size_t pos =
+            static_cast<std::size_t>(rng.uniform_int(0, bytes.size() - 1));
+        bytes[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+        EXPECT_FALSE(decode_repair(bytes).has_value())
+            << "single bit flip at " << pos << " slipped past the checksum";
+    }
+}
+
+TEST(FecWireFuzz, ZeroCountRejectedEvenUnderAValidChecksum) {
+    Rng rng{3};
+    std::vector<std::uint8_t> bytes = encode(random_repair(rng));
+    ASSERT_EQ(bytes.size(), repair_packet_header_bytes());
+    bytes[kCountOffset] = 0;
+    bytes = reseal(bytes);
+    EXPECT_FALSE(decode_repair(bytes).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Decoder call-sequence fuzzing
+
+/// Drives a payload-mode and a rank-only decoder through one seeded
+/// adversarial call sequence, asserting rank monotonicity and mode
+/// agreement after every step.  Returns final rank (for seed-purity).
+std::size_t fuzz_decoder_sequence(std::uint64_t seed, std::size_t ops) {
+    Rng rng{seed};
+    const std::size_t window =
+        static_cast<std::size_t>(rng.uniform_int(1, 32));
+    constexpr std::size_t kSym = 8;
+    RlcDecoder full(window, kSym);
+    RlcDecoder rank_only(window, 0);
+    std::uint8_t payload[espread::fec::kMaxWindow > kSym
+                             ? espread::fec::kMaxWindow
+                             : kSym];
+    double t = 0.0;
+    std::size_t last_rank = 0;
+    std::uint64_t frontier = 0;
+    for (std::size_t op = 0; op < ops; ++op) {
+        t += 0.125;
+        for (std::size_t i = 0; i < sizeof(payload); ++i) {
+            payload[i] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        }
+        const std::uint64_t pick = rng.uniform_int(0, 9);
+        if (pick < 5) {
+            // Source near the frontier; occasionally far ahead, duplicate,
+            // or ancient (stale).
+            std::uint64_t idx = frontier;
+            if (pick == 0 && frontier > 0) {
+                idx = rng.uniform_int(0, frontier - 1);  // dup or stale
+            } else if (pick == 1) {
+                idx = frontier + rng.uniform_int(0, 8ull * window);  // gap/cap
+            } else {
+                ++frontier;
+            }
+            full.add_source(idx, payload, kSym, t);
+            rank_only.add_source(idx, nullptr, 0, t);
+            frontier = std::max(frontier, idx + 1);
+        } else if (pick < 9) {
+            // Repair over a window-plausible (or wild) span.
+            const std::uint64_t span_max = 2ull * window + 4;
+            std::uint64_t base =
+                frontier > span_max ? frontier - span_max : 0;
+            base += rng.uniform_int(0, span_max);
+            std::size_t count =
+                static_cast<std::size_t>(rng.uniform_int(0, 300));
+            if (pick == 8) {  // wild: far-future base, huge values
+                base = rng.next_u64();
+                count = static_cast<std::size_t>(rng.uniform_int(0, 0xFFFF));
+            }
+            const std::uint64_t cseed = rng.next_u64();
+            full.add_repair(base, count, cseed, payload, kSym, t);
+            rank_only.add_repair(base, count, cseed, nullptr, 0, t);
+        } else {
+            const std::uint64_t jump = rng.uniform_int(0, 2ull * window);
+            full.advance_base(full.base() + jump, t);
+            rank_only.advance_base(rank_only.base() + jump, t);
+        }
+        // Invariants, every step.
+        EXPECT_GE(full.rank(), last_rank) << "rank decreased (seed " << seed
+                                          << ", op " << op << ")";
+        last_rank = full.rank();
+        EXPECT_EQ(full.rank(), rank_only.rank());
+        EXPECT_EQ(full.decoded().size(), rank_only.decoded().size());
+        EXPECT_EQ(full.in_order_log().size(), rank_only.in_order_log().size());
+        EXPECT_EQ(full.symbols_lost(), rank_only.symbols_lost());
+        EXPECT_EQ(full.repairs_redundant(), rank_only.repairs_redundant());
+        EXPECT_EQ(full.stale_packets(), rank_only.stale_packets());
+    }
+    full.close(t);
+    rank_only.close(t);
+    EXPECT_GE(full.rank(), last_rank);
+    EXPECT_EQ(full.rank(), rank_only.rank());
+    EXPECT_EQ(full.in_order_log().size(), rank_only.in_order_log().size());
+    for (std::size_t i = 0; i < full.in_order_log().size(); ++i) {
+        EXPECT_EQ(full.in_order_log()[i].index,
+                  rank_only.in_order_log()[i].index);
+        EXPECT_EQ(full.in_order_log()[i].lost, rank_only.in_order_log()[i].lost);
+    }
+    return full.rank();
+}
+
+TEST(FecDecoderFuzz, AdversarialCallSequencesNeverCrashAndModesAgree) {
+    for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+        fuzz_decoder_sequence(seed, 400);
+    }
+}
+
+TEST(FecDecoderFuzz, SequenceOutcomeIsAPureFunctionOfTheSeed) {
+    for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
+        EXPECT_EQ(fuzz_decoder_sequence(seed, 300),
+                  fuzz_decoder_sequence(seed, 300));
+    }
+}
+
+}  // namespace

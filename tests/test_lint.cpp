@@ -77,6 +77,11 @@ TEST(LintFixtures, D3FlagsDefaultInContractEnumSwitch) {
     EXPECT_EQ(keys(diags), (Keys{{"D3", 13}}));
 }
 
+TEST(LintFixtures, D3FlagsDefaultInSchemeSwitchAcceptsExhaustiveOne) {
+    const auto diags = lint_fixture("src/protocol/d3_scheme_switch.cpp");
+    EXPECT_EQ(keys(diags), (Keys{{"D3", 21}}));
+}
+
 TEST(LintFixtures, D4FlagsUngatedSinkCallAcceptsGatedOne) {
     const auto diags = lint_fixture("src/protocol/d4_ungated_sink.cpp");
     EXPECT_EQ(keys(diags), (Keys{{"D4", 15}}));
@@ -85,6 +90,11 @@ TEST(LintFixtures, D4FlagsUngatedSinkCallAcceptsGatedOne) {
 TEST(LintFixtures, D4MatchesObserveFamilyThroughMethodNameContinuation) {
     const auto diags = lint_fixture("src/engine/d4_observe_sites.cpp");
     EXPECT_EQ(keys(diags), (Keys{{"D4", 15}}));
+}
+
+TEST(LintFixtures, D4FlagsUngatedFecTraceSiteAcceptsGatedOne) {
+    const auto diags = lint_fixture("src/fec/d4_rlc_trace.cpp");
+    EXPECT_EQ(keys(diags), (Keys{{"D4", 16}}));
 }
 
 TEST(LintFixtures, D5FlagsIostreamRawNewAndDelete) {
@@ -110,8 +120,8 @@ TEST(LintFixtures, SuppressionWithoutReasonIsFlaggedAndIneffective) {
 TEST(LintFixtures, TreeScanAggregatesAllSeededViolations) {
     const auto diags = espread::lint::lint_tree(ESPREAD_LINT_FIXTURES,
                                                 {"src"}, bare_config());
-    // 1 (D1) + 2 (D2) + 1 (D3) + 2 (D4) + 3 (D5) + 2 (D0+D1 no-reason).
-    EXPECT_EQ(diags.size(), 11u);
+    // 1 (D1) + 2 (D2) + 2 (D3) + 3 (D4) + 3 (D5) + 2 (D0+D1 no-reason).
+    EXPECT_EQ(diags.size(), 13u);
     // Deterministic order: sorted by path, then line.
     for (std::size_t i = 1; i < diags.size(); ++i) {
         EXPECT_LE(diags[i - 1].path, diags[i].path);

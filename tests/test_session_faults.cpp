@@ -320,4 +320,56 @@ TEST(GovernedSessionFaults, MetricsByteIdenticalAcrossThreadCounts) {
     EXPECT_NE(s1.metrics.find_histogram("governor_state"), nullptr);
 }
 
+// ---- FEC-coded sessions under fault injection -----------------------------
+
+/// Kitchen-sink impairments on top of the hybrid spread-then-code arm: the
+/// repair stream shares the data path's loss process and corruption, so
+/// mutated repair records must die at the codec seal, never in the decoder.
+SessionConfig rlc_mixed_config(std::uint64_t seed) {
+    SessionConfig cfg = mixed_config(Mix::kKitchenSink, seed);
+    cfg.scheme = espread::proto::Scheme::kHybridSpreadRlc;
+    cfg.rlc.window_packets = 24;
+    cfg.rlc.overhead_num = 1;
+    cfg.rlc.overhead_den = 8;
+    return cfg;
+}
+
+TEST(RlcSessionFaults, SixtyFourSeedsSurviveTheKitchenSinkCoded) {
+    for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+        SessionConfig cfg = rlc_mixed_config(seed);
+        cfg.collect_metrics = true;
+        const SessionResult r = run_session(cfg);
+        check_invariants(cfg, r);
+        // Repair accounting closes: every emitted repair either survived
+        // the channel or is counted lost, and recoveries never exceed the
+        // losses the decoder could have covered.
+        const auto& m = r.metrics;
+        EXPECT_LE(m.counter("rlc_repairs_lost"), m.counter("rlc_repairs_sent"));
+        EXPECT_LE(m.counter("rlc_packets_recovered"),
+                  r.data_channel.dropped);
+        if (HasFailure()) {
+            FAIL() << "rlc seed=" << seed;
+        }
+    }
+}
+
+TEST(RlcSessionFaults, MetricsByteIdenticalAcrossThreadCounts) {
+    SessionConfig cfg = rlc_mixed_config(123);
+    cfg.collect_metrics = true;
+
+    const MonteCarloRunner one{runner_opts(/*trials=*/12, /*threads=*/1)};
+    const MonteCarloRunner four{runner_opts(/*trials=*/12, /*threads=*/4)};
+    const TrialSummary s1 = one.run(cfg);
+    const TrialSummary s4 = four.run(cfg);
+
+    EXPECT_EQ(s1.window_clf.count(), s4.window_clf.count());
+    EXPECT_EQ(s1.window_clf.mean(), s4.window_clf.mean());
+    EXPECT_EQ(s1.clf_histogram.bins(), s4.clf_histogram.bins());
+    expect_registries_identical(s1.metrics, s4.metrics);
+    // The coded registry actually carries the RLC keys (the merge is
+    // exercised on them, not on an empty set).
+    EXPECT_GT(s1.metrics.counter("rlc_repairs_sent"), 0u);
+    EXPECT_GT(s1.metrics.counter("rlc_repair_bits_sent"), 0u);
+}
+
 }  // namespace
