@@ -89,6 +89,10 @@ public:
             case EventType::kSloHealth:
             case EventType::kRepairSent:
             case EventType::kFecRecovered:
+            case EventType::kNackSent:
+            case EventType::kNackServed:
+            case EventType::kRepairTimeout:
+            case EventType::kRepairShed:
                 break;
         }
     }

@@ -58,6 +58,21 @@ struct FecLiteConfig {
     bool enabled = false;
     std::size_t overhead_num = 1;   ///< repair packets per overhead_den sources
     std::size_t overhead_den = 10;
+
+    /// NACK-lite: the pool's idealization of the receiver-authoritative
+    /// recovery plane (DESIGN.md §13).  Instead of sending the window's
+    /// repair accrual unconditionally, the slot *banks* it (capped at
+    /// nack_credit_cap; overflow expires) and releases min(bank, lost
+    /// packets) repairs only when a lossy window's NACK — piggybacked on
+    /// the window's feedback packet, so the feedback chain still advances
+    /// exactly once per window — survives the feedback channel.  After
+    /// nack_watchdog_windows consecutive lost feedback packets the slot
+    /// reverts to the fixed proactive schedule until feedback returns
+    /// (graceful degradation to the plain FEC-lite arm).  Off (the
+    /// default), the arm is byte-identical to plain FEC-lite.
+    bool nack = false;
+    std::size_t nack_credit_cap = 8;
+    std::size_t nack_watchdog_windows = 2;
 };
 
 /// Per-slot "governor-lite" supervision of the Eq. 1 feedback loop — the
@@ -137,6 +152,17 @@ struct EngineConfig {
         if (fec.enabled && (fec.overhead_num == 0 || fec.overhead_den == 0)) {
             throw std::invalid_argument(
                 "EngineConfig: fec overhead ratio terms must be >= 1");
+        }
+        if (fec.nack) {
+            if (!fec.enabled) {
+                throw std::invalid_argument(
+                    "EngineConfig: fec.nack requires fec.enabled");
+            }
+            if (fec.nack_credit_cap == 0 || fec.nack_watchdog_windows == 0) {
+                throw std::invalid_argument(
+                    "EngineConfig: fec.nack needs nack_credit_cap >= 1 and "
+                    "nack_watchdog_windows >= 1");
+            }
         }
         if (telemetry.enabled && telemetry.epoch_steps == 0) {
             throw std::invalid_argument(

@@ -107,6 +107,13 @@ void append_summary(exp::JsonWriter& json, const EngineSummary& s) {
         json.key("fec_windows_recovered").value(s.fec_windows_recovered);
         json.key("fec_windows_unrecovered").value(s.fec_windows_unrecovered);
     }
+    if (s.nack) {
+        json.key("nack_requests_sent").value(s.nack_requests_sent);
+        json.key("nack_requests_lost").value(s.nack_requests_lost);
+        json.key("nack_repair_packets").value(s.nack_repair_packets);
+        json.key("nack_credits_expired").value(s.nack_credits_expired);
+        json.key("nack_windows_proactive").value(s.nack_windows_proactive);
+    }
     json.key("clf_histogram");
     append_histogram(json, s.clf_histogram);
     json.key("bound_histogram");

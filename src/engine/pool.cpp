@@ -114,6 +114,15 @@ SessionPool::SessionPool(const EngineConfig& cfg) : cfg_(cfg) {
         tot_fec_repairs_.assign(capacity_, 0);
         tot_fec_recovered_.assign(capacity_, 0);
         tot_fec_unrecovered_.assign(capacity_, 0);
+        if (cfg_.fec.nack) {
+            nack_credit_.assign(capacity_, 0);
+            nack_wd_.assign(capacity_, 0);
+            tot_nack_sent_.assign(capacity_, 0);
+            tot_nack_lost_.assign(capacity_, 0);
+            tot_nack_repairs_.assign(capacity_, 0);
+            tot_nack_expired_.assign(capacity_, 0);
+            tot_nack_proactive_.assign(capacity_, 0);
+        }
     }
     if (cfg_.governor.enabled) {
         gov_.assign(capacity_, GovernorLiteState{});
@@ -179,6 +188,11 @@ void SessionPool::spawn(std::size_t slot) {
         gov_[slot].published = static_cast<std::uint32_t>(
             BurstEstimator::bound_for(estimate_[slot], n_));
     }
+    if (cfg_.fec.nack) {
+        // A fresh session starts with an empty bank and a live path.
+        nack_credit_[slot] = 0;
+        nack_wd_[slot] = 0;
+    }
     ++tot_spawned_[slot];
 }
 
@@ -196,6 +210,7 @@ void SessionPool::run_window_range(std::size_t begin, std::size_t end,
     const std::size_t packets = n_ * f_;
     const bool governed = cfg_.governor.enabled;
     const bool fec_on = cfg_.fec.enabled;
+    const bool nack_on = cfg_.fec.nack;
     std::uint64_t* tx = s.tx_words.data();
     std::uint64_t* pb = s.pb_words.data();
     obs::telemetry::TelemetrySlab* const tel = s.telemetry;
@@ -264,13 +279,49 @@ void SessionPool::run_window_range(std::size_t begin, std::size_t end,
 
         // 2b. FEC-lite: the window's repair packets ride the same chain,
         //     and are always sent (constant bandwidth, shard-independent
-        //     chain advance even on loss-free windows).
+        //     chain advance even on loss-free windows).  Under NACK-lite
+        //     the accrual banks instead, and releases only for a lossy
+        //     window whose NACK — piggybacked on this window's feedback
+        //     packet, drawn here so the feedback chain still advances
+        //     exactly once per window — survives the channel; a watchdog
+        //     of consecutive lost feedbacks reverts to the fixed schedule.
         std::size_t fec_survived = 0;
+        std::size_t fec_repairs_this_window = 0;
+        bool nack_fb_lost = false;     // this window's feedback draw
+        bool nack_reactive = false;    // draw happened here, skip stage 4's
         if (fec_on) {
+            if (nack_on && nack_wd_[slot] < cfg_.fec.nack_watchdog_windows) {
+                nack_reactive = true;
+                const std::size_t cap = cfg_.fec.nack_credit_cap;
+                const std::size_t bank = nack_credit_[slot];
+                const std::size_t add =
+                    std::min(cap - std::min(cap, bank),
+                             fec_repairs_per_window_);
+                nack_credit_[slot] = static_cast<std::uint32_t>(bank + add);
+                tot_nack_expired_[slot] += fec_repairs_per_window_ - add;
+                nack_fb_lost = feedback_chain_[slot].drop_next();
+                if (any_loss) {
+                    ++tot_nack_sent_[slot];
+                    if (nack_fb_lost) {
+                        ++tot_nack_lost_[slot];
+                    } else {
+                        fec_repairs_this_window = std::min<std::size_t>(
+                            nack_credit_[slot], lost_pkts);
+                        nack_credit_[slot] -= static_cast<std::uint32_t>(
+                            fec_repairs_this_window);
+                        tot_nack_repairs_[slot] += fec_repairs_this_window;
+                    }
+                }
+            } else {
+                // Plain FEC-lite, or the NACK watchdog fired: fixed
+                // proactive schedule (graceful degradation).
+                fec_repairs_this_window = fec_repairs_per_window_;
+                if (nack_on) ++tot_nack_proactive_[slot];
+            }
             std::size_t rp = 0;
-            while (rp < fec_repairs_per_window_) {
+            while (rp < fec_repairs_this_window) {
                 const net::GilbertLoss::Run run = chain.next_run(
-                    static_cast<std::uint64_t>(fec_repairs_per_window_ - rp));
+                    static_cast<std::uint64_t>(fec_repairs_this_window - rp));
                 const std::size_t len = static_cast<std::size_t>(run.length);
                 if (!run.lost) fec_survived += len;
                 rp += len;
@@ -302,8 +353,13 @@ void SessionPool::run_window_range(std::size_t begin, std::size_t end,
         }
 
         // 4. The client ACKs its transmission-order burst observation
-        //    across the (lossy) feedback channel.
-        const bool ack_lost = feedback_chain_[slot].drop_next();
+        //    across the (lossy) feedback channel.  Under reactive
+        //    NACK-lite the draw already happened in 2b (the NACK and ACK
+        //    share the window's feedback packet); reusing it keeps the
+        //    chain at one draw per window in every mode.
+        const bool ack_lost =
+            nack_reactive ? nack_fb_lost : feedback_chain_[slot].drop_next();
+        if (nack_on) nack_wd_[slot] = ack_lost ? nack_wd_[slot] + 1 : 0;
         if (ack_lost) {
             ++tot_acks_lost_[slot];
         } else {
@@ -322,7 +378,7 @@ void SessionPool::run_window_range(std::size_t begin, std::size_t end,
         ++s.clf_hist[clf];
         ++s.bound_hist[bound];
         if (fec_on) {
-            tot_fec_repairs_[slot] += fec_repairs_per_window_;
+            tot_fec_repairs_[slot] += fec_repairs_this_window;
             if (any_loss) {
                 if (recovered) {
                     ++tot_fec_recovered_[slot];
@@ -377,6 +433,16 @@ EngineSummary SessionPool::summarize(
             out.fec_repair_packets += tot_fec_repairs_[slot];
             out.fec_windows_recovered += tot_fec_recovered_[slot];
             out.fec_windows_unrecovered += tot_fec_unrecovered_[slot];
+        }
+    }
+    if (cfg_.fec.nack) {
+        out.nack = true;
+        for (std::size_t slot = 0; slot < capacity_; ++slot) {
+            out.nack_requests_sent += tot_nack_sent_[slot];
+            out.nack_requests_lost += tot_nack_lost_[slot];
+            out.nack_repair_packets += tot_nack_repairs_[slot];
+            out.nack_credits_expired += tot_nack_expired_[slot];
+            out.nack_windows_proactive += tot_nack_proactive_[slot];
         }
     }
     if (cfg_.governor.enabled) {
@@ -438,6 +504,18 @@ EngineSummary SessionPool::summarize(
                                     out.fec_windows_recovered);
             out.metrics.add_counter("engine/fec_windows_unrecovered",
                                     out.fec_windows_unrecovered);
+        }
+        if (cfg_.fec.nack) {
+            out.metrics.add_counter("engine/nack_requests_sent",
+                                    out.nack_requests_sent);
+            out.metrics.add_counter("engine/nack_requests_lost",
+                                    out.nack_requests_lost);
+            out.metrics.add_counter("engine/nack_repair_packets",
+                                    out.nack_repair_packets);
+            out.metrics.add_counter("engine/nack_credits_expired",
+                                    out.nack_credits_expired);
+            out.metrics.add_counter("engine/nack_windows_proactive",
+                                    out.nack_windows_proactive);
         }
         if (cfg_.governor.enabled) {
             out.metrics.add_counter("engine/governor_windows_normal",

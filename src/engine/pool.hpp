@@ -73,6 +73,13 @@ struct EngineSummary {
     std::uint64_t fec_repair_packets = 0;    ///< repair packets sent
     std::uint64_t fec_windows_recovered = 0; ///< lossy windows fully repaired
     std::uint64_t fec_windows_unrecovered = 0;  ///< lossy windows left coded-out
+    /// NACK-lite arm (all zero, and absent from summary_json, when off).
+    bool nack = false;                        ///< receiver-driven repair on
+    std::uint64_t nack_requests_sent = 0;     ///< lossy reactive windows
+    std::uint64_t nack_requests_lost = 0;     ///< NACKs the channel dropped
+    std::uint64_t nack_repair_packets = 0;    ///< banked repairs released
+    std::uint64_t nack_credits_expired = 0;   ///< accrual lost to the cap
+    std::uint64_t nack_windows_proactive = 0; ///< watchdog-degraded windows
     sim::Histogram clf_histogram;      ///< per-window CLF distribution
     sim::Histogram bound_histogram;    ///< Eq. 1 bound usage distribution
     obs::MetricsRegistry metrics;      ///< filled when collect_metrics
@@ -161,6 +168,16 @@ private:
     std::vector<std::uint64_t> tot_fec_repairs_;
     std::vector<std::uint64_t> tot_fec_recovered_;
     std::vector<std::uint64_t> tot_fec_unrecovered_;
+
+    // NACK-lite arenas (sized iff cfg.fec.nack; all per-slot, so the
+    // shard-count determinism contract is untouched).
+    std::vector<std::uint32_t> nack_credit_;  ///< banked repair packets
+    std::vector<std::uint32_t> nack_wd_;      ///< consecutive lost feedbacks
+    std::vector<std::uint64_t> tot_nack_sent_;
+    std::vector<std::uint64_t> tot_nack_lost_;
+    std::vector<std::uint64_t> tot_nack_repairs_;
+    std::vector<std::uint64_t> tot_nack_expired_;
+    std::vector<std::uint64_t> tot_nack_proactive_;
 
     // Governor-lite supervision (sized only when cfg_.governor.enabled,
     // so an unsupervised pool pays nothing).

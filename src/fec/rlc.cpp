@@ -109,6 +109,15 @@ const RlcDecoder::Sym* RlcDecoder::sym_at(std::uint64_t index) const noexcept {
     return &syms_[static_cast<std::size_t>(index - lo_)];
 }
 
+std::size_t RlcDecoder::unresolved() const noexcept {
+    std::size_t n = 0;
+    for (std::uint64_t i = std::max(base_, lo_); i < next_; ++i) {
+        const Sym* s = sym_at(i);
+        if (s != nullptr && s->state == SymState::kUnknown) ++n;
+    }
+    return n;
+}
+
 void RlcDecoder::extend_to(std::uint64_t end) {
     while (next_ < end) {
         syms_.emplace_back();

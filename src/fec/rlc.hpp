@@ -137,6 +137,13 @@ public:
     std::size_t stale_packets() const noexcept { return stale_; }
     std::size_t symbols_lost() const noexcept { return lost_; }
 
+    /// Symbols in [base(), next tracked index) that are neither received,
+    /// decoded, nor declared lost — the decoder's rank deficit.  This is
+    /// what a receiver-driven repair request (proto::NackRequest) reports:
+    /// `unresolved()` fresh repairs over the current window would (with
+    /// probability ~1) restore full rank.
+    std::size_t unresolved() const noexcept;
+
     /// Source symbols recovered via repairs, in decode order.
     const std::vector<DecodedEvent>& decoded() const noexcept {
         return decoded_;

@@ -30,7 +30,11 @@ struct LinkConfig {
 /// Delivery accounting.  Reconciliation invariant once the event queue has
 /// drained: delivered + dropped + corrupt_rejected == sent + duplicated
 /// (every send ends as exactly one delivery, loss, or corrupt rejection,
-/// and every duplicate adds one extra delivery).
+/// and every duplicate adds one extra delivery).  Side-band sends
+/// (send_sideband) are included in every counter — `sent`, `bits_sent`,
+/// the loss/corruption/duplication outcomes and `loss_runs` — so the
+/// invariant covers them too; `sideband_sent`/`sideband_bits` break out
+/// their share so repair-traffic budgets are auditable against it.
 struct ChannelStats {
     std::size_t sent = 0;
     std::size_t delivered = 0;  ///< receiver callbacks fired (incl. duplicate copies)
@@ -40,6 +44,8 @@ struct ChannelStats {
     std::size_t corrupt_rejected = 0;  ///< corrupted headers the codec rejected
     std::size_t reordered = 0;         ///< packets displaced past later sends
     std::size_t forced_dropped = 0;    ///< scripted drops (subset of `dropped`)
+    std::size_t sideband_sent = 0;     ///< send_sideband calls (subset of `sent`)
+    std::size_t sideband_bits = 0;     ///< their bits (subset of `bits_sent`)
     /// Lengths of maximal runs of consecutive dropped packets (send order).
     /// The max alone hides the burst distribution the Gilbert model is
     /// calibrated to; the histogram exposes it.  Sum over (length x count)
@@ -139,7 +145,12 @@ public:
         const sim::SimTime tx_time = sim::from_seconds(
             static_cast<double>(size_bits) / link_.bandwidth_bps);
         const sim::SimTime depart = std::max(queue_.now(), link_free_);
-        if (occupy_link) link_free_ = depart + tx_time;
+        if (occupy_link) {
+            link_free_ = depart + tx_time;
+        } else {
+            ++stats_.sideband_sent;
+            stats_.sideband_bits += size_bits;
+        }
         ++stats_.sent;
         stats_.bits_sent += size_bits;
         // Scripted drops short-circuit the Gilbert draw: a blackout models

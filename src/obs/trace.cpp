@@ -31,6 +31,10 @@ const char* event_name(EventType t) noexcept {
         case EventType::kSloHealth: return "SloHealth";
         case EventType::kRepairSent: return "RepairSent";
         case EventType::kFecRecovered: return "FecRecovered";
+        case EventType::kNackSent: return "NackSent";
+        case EventType::kNackServed: return "NackServed";
+        case EventType::kRepairTimeout: return "RepairTimeout";
+        case EventType::kRepairShed: return "RepairShed";
     }
     return "Unknown";
 }

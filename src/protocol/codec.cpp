@@ -185,6 +185,27 @@ std::size_t repair_packet_header_bytes() noexcept {
     return 1 + 4 + 4 + 4 + 1 + 8 + 4 + kChecksumBytes;
 }
 
+std::vector<std::uint8_t> encode(const NackRequest& n) {
+    std::vector<std::uint8_t> out;
+    out.reserve(nack_request_header_bytes());
+    put_u8(out, static_cast<std::uint8_t>(WireType::kNack));
+    put_u32(out, static_cast<std::uint32_t>(n.seq));
+    put_u32(out, static_cast<std::uint32_t>(n.window));
+    put_u64(out, n.missing);
+    put_u8(out, static_cast<std::uint8_t>(n.rank_deficit));
+    put_u8(out, static_cast<std::uint8_t>(n.retry));
+    seal(out);
+    return out;
+}
+
+std::size_t nack_request_header_bytes() noexcept {
+    // tag + seq + window + missing bitmap + rank_deficit + retry + crc16.
+    // 21 bytes = 168 bits, comfortably inside the simulator's 512-bit
+    // feedback budget (cfg.feedback_bits), so NACKs cost one feedback-sized
+    // datagram on the wire.
+    return 1 + 4 + 4 + 8 + 1 + 1 + kChecksumBytes;
+}
+
 std::vector<std::uint8_t> encode(const WindowTrailer& t) {
     std::vector<std::uint8_t> out;
     put_u8(out, static_cast<std::uint8_t>(WireType::kTrailer));
@@ -221,6 +242,7 @@ std::optional<WireType> peek_type(const std::vector<std::uint8_t>& bytes) {
         case static_cast<std::uint8_t>(WireType::kTrailer): return WireType::kTrailer;
         case static_cast<std::uint8_t>(WireType::kFeedback): return WireType::kFeedback;
         case static_cast<std::uint8_t>(WireType::kRepair): return WireType::kRepair;
+        case static_cast<std::uint8_t>(WireType::kNack): return WireType::kNack;
         // espread-lint: allow(D3) wire bytes are untrusted input: an unknown tag must decode to nullopt, not assert
         default: return std::nullopt;
     }
@@ -292,6 +314,30 @@ std::optional<RepairPacket> decode_repair(const std::vector<std::uint8_t>& bytes
     p.count = count;
     p.size_bits = size_bits;
     return p;
+}
+
+std::optional<NackRequest> decode_nack(const std::vector<std::uint8_t>& bytes) {
+    if (peek_type(bytes) != WireType::kNack) return std::nullopt;
+    if (!checksum_ok(bytes)) return std::nullopt;
+    Reader r{bytes};
+    std::uint8_t tag = 0;
+    std::uint8_t rank_deficit = 0;
+    std::uint8_t retry = 0;
+    std::uint32_t seq = 0;
+    std::uint32_t window = 0;
+    NackRequest n;
+    if (!r.u8(tag) || !r.u32(seq) || !r.u32(window) || !r.u64(n.missing) ||
+        !r.u8(rank_deficit) || !r.u8(retry) || !r.exhausted()) {
+        return std::nullopt;
+    }
+    // A request naming nothing is meaningless on the wire; rejecting it
+    // keeps the codec canonical and spares the server a no-op service.
+    if (n.missing == 0 && rank_deficit == 0) return std::nullopt;
+    n.seq = seq;
+    n.window = window;
+    n.rank_deficit = rank_deficit;
+    n.retry = retry;
+    return n;
 }
 
 std::optional<WindowTrailer> decode_trailer(const std::vector<std::uint8_t>& bytes) {

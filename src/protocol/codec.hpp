@@ -29,6 +29,7 @@ enum class WireType : std::uint8_t {
     kTrailer = 2,
     kFeedback = 3,
     kRepair = 4,
+    kNack = 5,
 };
 
 /// Serialized bytes of each record type.
@@ -36,6 +37,7 @@ std::vector<std::uint8_t> encode(const DataPacket& p);
 std::vector<std::uint8_t> encode(const WindowTrailer& t);
 std::vector<std::uint8_t> encode(const Feedback& f);
 std::vector<std::uint8_t> encode(const RepairPacket& r);
+std::vector<std::uint8_t> encode(const NackRequest& n);
 
 /// Peeks the type tag; nullopt on empty input or unknown tag.
 std::optional<WireType> peek_type(const std::vector<std::uint8_t>& bytes);
@@ -46,11 +48,15 @@ std::optional<DataPacket> decode_data(const std::vector<std::uint8_t>& bytes);
 std::optional<WindowTrailer> decode_trailer(const std::vector<std::uint8_t>& bytes);
 std::optional<Feedback> decode_feedback(const std::vector<std::uint8_t>& bytes);
 std::optional<RepairPacket> decode_repair(const std::vector<std::uint8_t>& bytes);
+std::optional<NackRequest> decode_nack(const std::vector<std::uint8_t>& bytes);
 
 /// Exact encoded size in bytes of a DataPacket header (fixed).
 std::size_t data_packet_header_bytes() noexcept;
 
 /// Exact encoded size in bytes of a RepairPacket header (fixed).
 std::size_t repair_packet_header_bytes() noexcept;
+
+/// Exact encoded size in bytes of a NackRequest record (fixed).
+std::size_t nack_request_header_bytes() noexcept;
 
 }  // namespace espread::proto

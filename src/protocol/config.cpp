@@ -132,6 +132,37 @@ void SessionConfig::validate() const {
                 "SessionConfig: governor supervises the EWMA estimator only");
         }
     }
+    if (recovery.enabled) {
+        if (fec.group > 0) {
+            // The group-parity arm has no receiver-visible codeword
+            // identity to request against; the sliding-window RLC schemes
+            // are the coded arms the recovery plane serves.
+            throw std::invalid_argument(
+                "SessionConfig: recovery plane is incompatible with "
+                "group-parity FEC (use an RLC scheme)");
+        }
+        if (recovery.rtt_timeout_mult <= 0.0 || recovery.backoff_base < 1.0) {
+            throw std::invalid_argument(
+                "SessionConfig: recovery timeouts need rtt_timeout_mult > 0 "
+                "and backoff_base >= 1");
+        }
+        if (recovery.jitter_frac < 0.0 || recovery.jitter_frac >= 1.0) {
+            throw std::invalid_argument(
+                "SessionConfig: recovery.jitter_frac must be in [0, 1)");
+        }
+        if (recovery.queue_limit == 0) {
+            throw std::invalid_argument(
+                "SessionConfig: recovery.queue_limit must be >= 1");
+        }
+        if (recovery.max_repairs_per_nack == 0) {
+            throw std::invalid_argument(
+                "SessionConfig: recovery.max_repairs_per_nack must be >= 1");
+        }
+        if (recovery.watchdog_windows == 0) {
+            throw std::invalid_argument(
+                "SessionConfig: recovery.watchdog_windows must be >= 1");
+        }
+    }
     data_impairment.validate();
     feedback_impairment.validate();
 }

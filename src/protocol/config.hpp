@@ -99,6 +99,55 @@ struct RlcConfig {
     std::size_t overhead_den = 10;
 };
 
+/// Receiver-authoritative recovery plane (DESIGN.md §13).  When enabled,
+/// the sender-side survival oracle is out of the loop: the client detects
+/// gaps and rank deficits at playout-budget-aware deadlines, requests
+/// repair over the (impairable) feedback path with NackRequest records,
+/// and the sender's RepairScheduler answers with retransmissions and
+/// targeted RLC repairs on the side band.  The RLC credit schedule banks
+/// instead of spending proactively; a feedback watchdog (and the
+/// adaptation governor's Degraded/Fallback states, when governed) reverts
+/// to the fixed schedule, so a dead feedback path degrades to the pure
+/// FEC/spreading behavior instead of spinning.  Disabled (the default)
+/// keeps the session byte-identical to a pre-recovery build.
+struct RecoveryConfig {
+    bool enabled = false;
+
+    /// NACK rounds per window after the initial request piggybacked on the
+    /// ACK; the hard cap that bounds feedback traffic under blackout.
+    std::size_t max_retries = 3;
+
+    /// First-round retransmission timeout, as a multiple of the configured
+    /// round-trip time (data + feedback propagation).
+    double rtt_timeout_mult = 1.5;
+
+    /// Timeout multiplier per retry round (exponential backoff).
+    double backoff_base = 2.0;
+
+    /// Uniform jitter applied to every timeout, as a +/- fraction of it,
+    /// drawn from a dedicated RNG lane (rng.split(7)) so enabling recovery
+    /// never shifts the loss, media, or impairment processes.
+    double jitter_frac = 0.25;
+
+    /// Bound on the sender's queued repair jobs while servicing is
+    /// suspended; overload evicts the job with the earliest deadline (it
+    /// is the least salvageable).
+    std::size_t queue_limit = 16;
+
+    /// Most RLC repair packets one NACK may trigger while Normal;
+    /// Recovering slew-limits servicing to one queued job per window.
+    std::size_t max_repairs_per_nack = 8;
+
+    /// Consecutive windows without any feedback arrival before the
+    /// watchdog declares the path dead and reverts the repair plane to the
+    /// fixed proactive credit schedule.
+    std::size_t watchdog_windows = 2;
+
+    /// Cap on banked repair credits (in repair packets); credits accruing
+    /// beyond it expire, bounding the reactive burst a NACK can release.
+    std::size_t credit_cap = 8;
+};
+
 /// Everything that defines one simulated streaming session.
 struct SessionConfig {
     StreamSpec stream;
@@ -131,6 +180,7 @@ struct SessionConfig {
     double predictive_reserve = 0.1;
     FecConfig fec;
     RlcConfig rlc;
+    RecoveryConfig recovery;
 
     /// True when `scheme` carries the sliding-window code.
     bool rlc_active() const noexcept {

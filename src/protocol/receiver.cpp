@@ -110,13 +110,36 @@ void Receiver::on_trailer(const WindowTrailer& t) {
 }
 
 WindowOutcome Receiver::finalize(std::size_t window) {
+    WindowOutcome out = outcome_of(window);
+    finalized_.insert(window);
+    windows_.erase(window);
+    return out;
+}
+
+WindowOutcome Receiver::report(std::size_t window) const {
+    return outcome_of(window);
+}
+
+std::uint64_t Receiver::incomplete_frames(std::size_t window) const {
+    if (finalized_.count(window)) return 0;
+    const std::size_t span = std::min<std::size_t>(window_ldus_, 64);
+    std::uint64_t missing = span == 64 ? ~std::uint64_t{0}
+                                       : (std::uint64_t{1} << span) - 1;
+    const auto it = windows_.find(window);
+    if (it == windows_.end()) return missing;
+    for (const auto& [local, fa] : it->second.frames) {
+        if (local < span && fa.complete()) missing &= ~(std::uint64_t{1} << local);
+    }
+    return missing;
+}
+
+WindowOutcome Receiver::outcome_of(std::size_t window) const {
     WindowOutcome out;
     out.playback.assign(window_ldus_, false);
     out.layer_max_burst.assign(layer_sizes_.size(), 0);
     out.layer_lost.assign(layer_sizes_.size(), 0);
     out.playable_at.assign(window_ldus_, std::nullopt);
 
-    finalized_.insert(window);
     const auto it = windows_.find(window);
     if (it == windows_.end()) {
         // Nothing arrived: every layer is one solid loss burst (up to its
@@ -128,7 +151,7 @@ WindowOutcome Receiver::finalize(std::size_t window) {
         }
         return out;
     }
-    WindowState& w = it->second;
+    const WindowState& w = it->second;
     out.trailer_seen = w.trailer_seen;
 
     // Frame completeness in playback order.
@@ -220,7 +243,6 @@ WindowOutcome Receiver::finalize(std::size_t window) {
         }
     }
 
-    windows_.erase(it);
     return out;
 }
 

@@ -89,6 +89,20 @@ public:
     /// all-lost outcome.
     WindowOutcome finalize(std::size_t window);
 
+    /// Computes the outcome of window `w` from its current state without
+    /// closing it: no state is released and later packets still count.
+    /// The recovery plane uses this to ACK a window at its transmission
+    /// deadline while the window stays open for NACK-driven repairs until
+    /// its playout budget runs out.
+    WindowOutcome report(std::size_t window) const;
+
+    /// Bitmap over the window's first min(64, n) local frames: bit f set
+    /// iff frame f has not arrived complete yet.  Already-finalized
+    /// windows report zero (nothing can be repaired any more).  This is
+    /// the `missing` field of a NackRequest; frames the sender shed before
+    /// transmission are the sender's to filter out.
+    std::uint64_t incomplete_frames(std::size_t window) const;
+
     std::size_t packets_seen() const noexcept { return packets_seen_; }
 
     /// Duplicate fragments (and repeated trailers) discarded.
@@ -115,6 +129,7 @@ private:
     };
 
     void trace_drop(obs::EventType type, const DataPacket& p, sim::SimTime now);
+    WindowOutcome outcome_of(std::size_t window) const;
 
     std::size_t window_ldus_;
     std::vector<std::size_t> layer_sizes_;

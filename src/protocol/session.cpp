@@ -3,7 +3,9 @@
 #include "protocol/playout.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <deque>
+#include <map>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -16,6 +18,7 @@
 #include "net/fragment.hpp"
 #include "protocol/codec.hpp"
 #include "protocol/governor.hpp"
+#include "protocol/recovery.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 
@@ -32,6 +35,7 @@ constexpr std::size_t kPacketHeaderBits = 256;
 constexpr sim::SimTime kFinalizeSlack = sim::from_millis(2.0);
 
 using DataMsg = std::variant<DataPacket, WindowTrailer, RepairPacket>;
+using FeedbackMsg = std::variant<Feedback, NackRequest>;
 
 /// Applies `1..max_flips` random bit flips to an encoded record.
 void flip_bits(std::vector<std::uint8_t>& bytes, sim::Rng& rng,
@@ -66,11 +70,26 @@ std::optional<DataMsg> corrupt_data_msg(const DataMsg& m, sim::Rng& rng,
     return std::nullopt;
 }
 
-std::optional<Feedback> corrupt_feedback(const Feedback& f, sim::Rng& rng,
-                                         std::size_t max_flips) {
-    std::vector<std::uint8_t> bytes = encode(f);
+/// Feedback-path corruption through the codec.  `allow_nack` gates the
+/// NackRequest decode attempt on the recovery plane being enabled, so a
+/// recovery-off session can never turn an undetected flip into a NACK it
+/// would otherwise have rejected (the zero-cost-off contract).
+std::optional<FeedbackMsg> corrupt_feedback_msg(const FeedbackMsg& m,
+                                                sim::Rng& rng,
+                                                std::size_t max_flips,
+                                                bool allow_nack) {
+    std::vector<std::uint8_t> bytes;
+    if (const Feedback* f = std::get_if<Feedback>(&m)) {
+        bytes = encode(*f);
+    } else {
+        bytes = encode(std::get<NackRequest>(m));
+    }
     flip_bits(bytes, rng, max_flips);
-    return decode_feedback(bytes);
+    if (auto f = decode_feedback(bytes)) return FeedbackMsg{*f};
+    if (allow_nack) {
+        if (auto n = decode_nack(bytes)) return FeedbackMsg{*n};
+    }
+    return std::nullopt;
 }
 
 }  // namespace
@@ -129,10 +148,12 @@ struct Session::Impl {
         if (cfg.feedback_impairment.active()) {
             const std::size_t flips =
                 cfg.feedback_impairment.corrupt_max_bit_flips;
-            feedback.set_impairments(cfg.feedback_impairment, rng.split(5),
-                                     [flips](const Feedback& f, sim::Rng& r) {
-                                         return corrupt_feedback(f, r, flips);
-                                     });
+            const bool allow_nack = cfg.recovery.enabled;
+            feedback.set_impairments(
+                cfg.feedback_impairment, rng.split(5),
+                [flips, allow_nack](const FeedbackMsg& m, sim::Rng& r) {
+                    return corrupt_feedback_msg(m, r, flips, allow_nack);
+                });
         }
 
         if (cfg.governor.enabled) {
@@ -142,16 +163,28 @@ struct Session::Impl {
 
         receiver.set_window_limit(cfg.num_windows);
         data.set_receiver([this](DataMsg m) {
-            if (std::holds_alternative<DataPacket>(m)) {
-                receiver.on_packet(std::get<DataPacket>(m), queue.now());
-            } else if (std::holds_alternative<WindowTrailer>(m)) {
-                receiver.on_trailer(std::get<WindowTrailer>(m));
+            if (const DataPacket* p = std::get_if<DataPacket>(&m)) {
+                receiver.on_packet(*p, queue.now());
+                if (recovery_on() && !p->retransmission && !p->parity) {
+                    client_on_source(*p);
+                }
+            } else if (const WindowTrailer* t = std::get_if<WindowTrailer>(&m)) {
+                receiver.on_trailer(*t);
+            } else if (recovery_on()) {
+                client_on_repair(std::get<RepairPacket>(m));
             }
-            // RepairPacket deliveries need no client action here: like the
-            // group-parity arm, erasure recovery runs off the sender-side
-            // survival oracle and re-injects the recovered *data* packets.
+            // Without the recovery plane, RepairPacket deliveries need no
+            // client action: like the group-parity arm, erasure recovery
+            // runs off the sender-side survival oracle and re-injects the
+            // recovered *data* packets.
         });
-        feedback.set_receiver([this](Feedback f) { on_feedback(f); });
+        feedback.set_receiver([this](FeedbackMsg m) {
+            if (const Feedback* f = std::get_if<Feedback>(&m)) {
+                on_feedback(*f);
+            } else {
+                on_nack(std::get<NackRequest>(m));
+            }
+        });
 
         if (cfg.trace != nullptr) {
             data.set_trace(cfg.trace, obs::Actor::kDataChannel);
@@ -180,7 +213,17 @@ struct Session::Impl {
             rlc_rng = rng.split(6);
             rlc_decoder.emplace(cfg.rlc.window_packets, /*symbol_bytes=*/0);
         }
+
+        if (cfg.recovery.enabled) {
+            // NACK backoff jitter draws from its own RNG lane so enabling
+            // the plane never shifts the loss, media, or impairment
+            // processes; a recovery-off session never takes split 7.
+            nack_rng = rng.split(7);
+            repair.emplace(cfg.recovery, cfg.num_windows);
+        }
     }
+
+    bool recovery_on() const noexcept { return cfg.recovery.enabled; }
 
     // ---- observability ----------------------------------------------------
 
@@ -301,6 +344,27 @@ struct Session::Impl {
         const sim::SimTime arrival =
             data.next_free_time() + cfg.data_link.propagation_delay;
         rlc_sources.push_back(RlcSource{p, arrival, survived});
+        if (recovery_on()) {
+            // Receiver-authoritative mode (DESIGN.md §13): the decoder
+            // lives at the client and is fed from actual deliveries
+            // (client_on_source), so the survival oracle is out of the
+            // loop.  The credit schedule banks while reactive — a NACK
+            // releases the bank as a targeted burst — and reverts to fixed
+            // proactive emission while the plane is suspended or the
+            // feedback path is declared dead.
+            rlc_credit += cfg.rlc.overhead_num;
+            while (rlc_credit >= cfg.rlc.overhead_den) {
+                rlc_credit -= cfg.rlc.overhead_den;
+                if (repair->mode() != RecoveryMode::kReactive) {
+                    rlc_send_repair(rep);
+                } else if (rlc_nack_credit < cfg.recovery.credit_cap) {
+                    ++rlc_nack_credit;
+                } else {
+                    ++nack_credits_expired;
+                }
+            }
+            return;
+        }
         if (survived) {
             rlc_decoder->add_source(index, nullptr, 0,
                                     sim::to_seconds(arrival));
@@ -351,6 +415,10 @@ struct Session::Impl {
                     static_cast<std::int64_t>(rp.base),
                     static_cast<double>(rp.count),
                     static_cast<double>(rlc_decoder->rank()));
+        // Receiver-authoritative mode: the repair rides the channel like
+        // any packet and the *client* decodes it on delivery
+        // (client_on_repair); the oracle path below must stay cold.
+        if (recovery_on()) return;
         if (!ok) return;
         const sim::SimTime arrival = data.next_free_time() +
                                      data.serialization_time(wire_bits) +
@@ -391,7 +459,13 @@ struct Session::Impl {
             const fec::RlcDecoder::InOrderEvent& e =
                 log[rlc_in_order_consumed];
             rlc_frontier = e.index + 1;
-            if (e.lost || e.index < rlc_lo) continue;
+            if (e.lost || e.index < rlc_lo ||
+                e.index - rlc_lo >= rlc_sources.size()) {
+                // The upper-bound check only fires for forged indices a
+                // corrupted-but-decodable header smuggled past the client's
+                // plausibility horizon (recovery mode).
+                continue;
+            }
             if (cfg.collect_metrics) {
                 const RlcSource& src =
                     rlc_sources[static_cast<std::size_t>(e.index - rlc_lo)];
@@ -410,6 +484,220 @@ struct Session::Impl {
         while (rlc_lo < keep && !rlc_sources.empty()) {
             rlc_sources.pop_front();
             ++rlc_lo;
+        }
+    }
+
+    // ---- receiver-authoritative recovery plane (DESIGN.md §13) -------------
+
+    /// Client plausibility horizon for RLC coordinates carried in wire
+    /// headers: anything more than one coding window past the highest
+    /// index witnessed so far can only be a forged or corrupted header.
+    bool client_plausible(std::uint64_t index) const noexcept {
+        return index < client_hi + cfg.rlc.window_packets;
+    }
+
+    /// Feeds one *delivered* source packet to the client-side decoder (the
+    /// wire header's fec_group field carries the source index).
+    void client_on_source(const DataPacket& p) {
+        if (!rlc_decoder.has_value()) return;
+        const std::uint64_t index = static_cast<std::uint64_t>(p.fec_group);
+        if (!client_plausible(index)) {
+            ++nack_forged_rejected;
+            return;
+        }
+        client_hi = std::max(client_hi, index + 1);
+        rlc_decoder->add_source(index, nullptr, 0,
+                                sim::to_seconds(queue.now()));
+        rlc_drain_in_order();
+        rlc_prune_sources();
+    }
+
+    /// Feeds one *delivered* repair packet to the client-side decoder and
+    /// completes any newly decoded source packets at the current time.
+    void client_on_repair(const RepairPacket& r) {
+        if (!rlc_decoder.has_value()) return;
+        if (r.count == 0 || r.count > cfg.rlc.window_packets ||
+            !client_plausible(r.base + r.count - 1)) {
+            ++nack_forged_rejected;
+            return;
+        }
+        client_hi = std::max(client_hi, r.base + r.count);
+        const std::size_t before = rlc_decoder->decoded().size();
+        rlc_decoder->add_repair(r.base, r.count, r.cseed, nullptr, 0,
+                                sim::to_seconds(queue.now()));
+        const auto& dec = rlc_decoder->decoded();
+        for (std::size_t i = before; i < dec.size(); ++i) {
+            const std::uint64_t idx = dec[i].index;
+            // A forged coordinate can decode an index the sender never
+            // issued; the transmit log bounds what is real.
+            if (idx < rlc_lo || idx - rlc_lo >= rlc_sources.size()) continue;
+            const RlcSource& src =
+                rlc_sources[static_cast<std::size_t>(idx - rlc_lo)];
+            receiver.on_packet(src.header, queue.now());
+            ++rlc_recovered;
+            if (cfg.collect_metrics) {
+                rlc_decode_delay_ms.add(static_cast<std::int64_t>(
+                    (queue.now() - src.expect_arrival) / 1'000'000));
+            }
+            trace_event(obs::EventType::kFecRecovered, obs::Actor::kClient,
+                        queue.now(), src.header.window, src.header.seq,
+                        static_cast<std::int64_t>(src.header.frame_index),
+                        sim::to_seconds(queue.now() - src.expect_arrival) * 1e3,
+                        static_cast<double>(rlc_decoder->rank()));
+        }
+        rlc_drain_in_order();
+        rlc_prune_sources();
+    }
+
+    /// When the recovery plane stops repairing window k: the playout
+    /// deadline of its last frame (plus slack), after which a late repair
+    /// cannot change what the viewer sees.  Never earlier than the ACK
+    /// instant, so finalize always runs after ack_window.
+    sim::SimTime recovery_fin_time(std::size_t k) const {
+        const std::size_t n = planner.window_ldus();
+        const sim::SimTime ack_at =
+            static_cast<sim::SimTime>(k + 1) * cfg.window_duration() +
+            cfg.data_link.propagation_delay + kFinalizeSlack;
+        return std::max(ack_at + 1,
+                        playout.deadline((k + 1) * n - 1) + kFinalizeSlack);
+    }
+
+    /// One client NACK round for window k.  Stops when nothing is missing,
+    /// rounds are exhausted, or no answer could land inside the playout
+    /// budget; otherwise names the losses on the feedback path and books
+    /// the next round after an RTT-based, jittered exponential backoff.
+    void nack_check(std::size_t k, std::size_t round) {
+        const sim::SimTime fin = recovery_fin_time(k);
+        if (queue.now() >= fin) return;
+        const std::uint64_t missing = receiver.incomplete_frames(k);
+        const std::size_t deficit =
+            rlc_decoder.has_value()
+                ? std::min<std::size_t>(rlc_decoder->unresolved(), 255)
+                : 0;
+        if (missing == 0 && deficit == 0) return;
+        const sim::SimTime rtt = cfg.feedback_link.propagation_delay +
+                                 cfg.data_link.propagation_delay;
+        if (queue.now() + rtt >= fin) {
+            ++nacks_suppressed_budget;
+            return;  // even an instant answer would arrive past the budget
+        }
+        NackRequest nr;
+        nr.seq = ++nack_seq;
+        nr.window = k;
+        nr.missing = missing;
+        nr.rank_deficit = deficit;
+        nr.retry = round;
+        ++nacks_sent;
+        trace_event(obs::EventType::kNackSent, obs::Actor::kClient,
+                    queue.now(), k, nr.seq,
+                    static_cast<std::int64_t>(std::popcount(missing)),
+                    static_cast<double>(deficit),
+                    static_cast<double>(round));
+        feedback.send(FeedbackMsg{nr}, cfg.feedback_bits);
+        if (round >= cfg.recovery.max_retries) return;
+        double timeout_s =
+            cfg.recovery.rtt_timeout_mult * sim::to_seconds(rtt);
+        for (std::size_t r = 0; r < round; ++r) {
+            timeout_s *= cfg.recovery.backoff_base;
+        }
+        if (cfg.recovery.jitter_frac > 0.0) {
+            const double u = nack_rng.uniform();
+            timeout_s *= 1.0 + cfg.recovery.jitter_frac * (2.0 * u - 1.0);
+        }
+        queue.schedule_at(queue.now() + sim::from_seconds(timeout_s),
+                          [this, k, round] { nack_check(k, round + 1); });
+    }
+
+    /// Sender's NACK handler: admission through the RepairScheduler, then
+    /// immediate service, queueing, or shedding per the window's mode.
+    void on_nack(const NackRequest& nr) {
+        if (!repair.has_value()) return;  // only an undetected flip forges one
+        ++nacks_received;
+        repair->on_feedback_alive();
+        const sim::SimTime deadline =
+            nr.window < cfg.num_windows ? recovery_fin_time(nr.window) : 0;
+        auto job = repair->admit(nr, deadline, queue.now());
+        if (!job.has_value()) return;
+        if (repair->may_service_now()) {
+            service_job(*job);
+            repair->note_serviced();
+        } else if (auto shed = repair->enqueue(*job)) {
+            trace_event(obs::EventType::kRepairShed, obs::Actor::kServer,
+                        queue.now(), shed->window, shed->seq,
+                        static_cast<std::int64_t>(shed->window));
+        }
+    }
+
+    /// Answers one admitted repair job: resend the named frames when they
+    /// can still make their playout deadlines (whole-frame granularity —
+    /// the bitmap does not say which fragments died), then release banked
+    /// RLC credits as targeted repairs up to the per-NACK cap.
+    void service_job(const RepairJob& job) {
+        WindowReport& rep = reports[job.window];
+        std::size_t retx_pkts = 0;
+        const auto it = sent_frames.find(job.window);
+        const bool retx_allowed =
+            cfg.retransmit_critical && cfg.max_retransmits > 0;
+        if (retx_allowed && job.missing != 0 && it != sent_frames.end()) {
+            const std::size_t n = planner.window_ldus();
+            const std::size_t span = std::min<std::size_t>(n, 64);
+            for (std::size_t f = 0; f < span; ++f) {
+                if ((job.missing & (std::uint64_t{1} << f)) == 0) continue;
+                const SentFrame& sf = it->second[f];
+                if (!sf.valid) continue;  // shed before sending: no material
+                std::size_t total_bits = 0;
+                for (const std::size_t s : sf.sizes) {
+                    total_bits += s + kPacketHeaderBits;
+                }
+                const sim::SimTime arrive =
+                    queue.now() + data.serialization_time(total_bits) +
+                    cfg.data_link.propagation_delay;
+                if (arrive >= playout.deadline(job.window * n + f)) {
+                    ++nack_retx_skipped_deadline;
+                    continue;
+                }
+                for (std::size_t frag = 0; frag < sf.sizes.size(); ++frag) {
+                    DataPacket p = sf.prototype;
+                    p.seq = next_seq++;
+                    p.fragment = frag;
+                    p.size_bits = sf.sizes[frag];
+                    p.retransmission = true;
+                    const std::size_t wire_bits =
+                        p.size_bits + kPacketHeaderBits;
+                    data.send_sideband(DataMsg{p}, wire_bits);
+                    ++rep.retransmissions;
+                    ++retx_pkts;
+                    ++nack_retx_packets;
+                    nack_retx_bits += wire_bits;
+                }
+            }
+        }
+        std::size_t repairs = 0;
+        if (rlc_decoder.has_value()) {
+            const std::size_t spend =
+                std::min({job.rank_deficit, rlc_nack_credit,
+                          cfg.recovery.max_repairs_per_nack});
+            for (std::size_t i = 0; i < spend; ++i) {
+                rlc_send_repair(rep);
+                --rlc_nack_credit;
+                ++repairs;
+            }
+            nack_repairs_sent += repairs;
+        }
+        ++nacks_serviced;
+        trace_event(obs::EventType::kNackServed, obs::Actor::kServer,
+                    queue.now(), job.window, job.seq,
+                    static_cast<std::int64_t>(retx_pkts),
+                    static_cast<double>(repairs),
+                    static_cast<double>(job.retry));
+    }
+
+    /// Releases queued repair jobs the current window's mode and service
+    /// budget allow (called at each window start).
+    void service_queued_jobs() {
+        while (auto job = repair->next_job(queue.now())) {
+            service_job(*job);
+            repair->note_serviced();
         }
     }
 
@@ -559,6 +847,31 @@ struct Session::Impl {
         rep.bound_used = bound;
         if (governor.has_value()) rep.governor_state = governor->state();
 
+        if (repair.has_value()) {
+            const std::size_t wd_before = repair->report().watchdog_timeouts;
+            repair->on_window_start(
+                k, governor.has_value()
+                       ? std::optional<GovernorState>(governor->state())
+                       : std::nullopt);
+            if (repair->report().watchdog_timeouts != wd_before) {
+                trace_event(
+                    obs::EventType::kRepairTimeout, obs::Actor::kServer,
+                    queue.now(), k, 0,
+                    static_cast<std::int64_t>(cfg.recovery.watchdog_windows));
+            }
+            if (repair->mode() == RecoveryMode::kProactive &&
+                rlc_decoder.has_value()) {
+                // The path was just declared dead: credits banked for NACK
+                // bursts would otherwise be stranded — flush them into the
+                // fixed schedule so degradation matches the pure-FEC arm.
+                while (rlc_nack_credit > 0) {
+                    rlc_send_repair(rep);
+                    --rlc_nack_credit;
+                }
+            }
+            service_queued_jobs();
+        }
+
         // Window-scoped scratch buffers are Impl members so the steady
         // state reuses their capacity instead of reallocating per window.
         std::vector<std::size_t>& layer_sent = layer_sent_scratch;
@@ -664,6 +977,17 @@ struct Session::Impl {
             sent_local[entry.local_frame] = true;
             ++layer_sent[entry.layer];
 
+            if (recovery_on()) {
+                // Keep the frame's wire material so a NACK can trigger its
+                // retransmission; pruned when the window's playout budget
+                // expires (finalize_window).  The oracle-driven PendingRetx
+                // path below must stay cold: under the recovery plane only
+                // received NACKs may trigger resends.
+                auto& rec = sent_frames[k];
+                if (rec.empty()) rec.resize(n);
+                rec[entry.local_frame] = SentFrame{proto, sizes, true};
+                continue;
+            }
             if (!lost.empty() && entry.critical && cfg.retransmit_critical &&
                 cfg.max_retransmits > 0) {
                 PendingRetx rx;
@@ -700,12 +1024,41 @@ struct Session::Impl {
         trailer.layer_sent = layer_sent;
         data.send(DataMsg{trailer}, cfg.feedback_bits);
 
-        queue.schedule_at(
-            deadline + cfg.data_link.propagation_delay + kFinalizeSlack,
-            [this, k] { finalize_window(k); });
+        if (recovery_on()) {
+            // Two-stage close: the ACK (and NACK round 0) leave at the
+            // legacy finalize instant, but the window stays open for
+            // repairs until its playout budget is spent.
+            queue.schedule_at(
+                deadline + cfg.data_link.propagation_delay + kFinalizeSlack,
+                [this, k] { ack_window(k); });
+            queue.schedule_at(recovery_fin_time(k),
+                              [this, k] { finalize_window(k); });
+        } else {
+            queue.schedule_at(
+                deadline + cfg.data_link.propagation_delay + kFinalizeSlack,
+                [this, k] { finalize_window(k); });
+        }
     }
 
     // ---- client side -----------------------------------------------------
+
+    /// Recovery-plane window close, stage 1 (at the legacy finalize
+    /// instant): report the window's state, send the ACK, and open NACK
+    /// round 0.  The window itself stays open for repairs until
+    /// recovery_fin_time (stage 2, finalize_window).
+    void ack_window(std::size_t k) {
+        const WindowOutcome out = receiver.report(k);
+        Feedback f;
+        f.seq = ++ack_seq;
+        f.window = k;
+        f.layer_max_burst = out.layer_max_burst;
+        f.layer_lost = out.layer_lost;
+        ++acks_sent;
+        trace_event(obs::EventType::kAckSent, obs::Actor::kClient,
+                    queue.now(), k, f.seq);
+        feedback.send(FeedbackMsg{std::move(f)}, cfg.feedback_bits);
+        nack_check(k, 0);
+    }
 
     void finalize_window(std::size_t k) {
         const WindowOutcome out = receiver.finalize(k);
@@ -726,6 +1079,12 @@ struct Session::Impl {
                     queue.now(), k, 0, static_cast<std::int64_t>(cr.clf),
                     cr.alf);
 
+        if (recovery_on()) {
+            // The ACK left at ack_window time; retransmission material for
+            // this window can no longer be used.
+            sent_frames.erase(k);
+            return;
+        }
         Feedback f;
         f.seq = ++ack_seq;
         f.window = k;
@@ -734,12 +1093,15 @@ struct Session::Impl {
         ++acks_sent;
         trace_event(obs::EventType::kAckSent, obs::Actor::kClient, queue.now(),
                     k, f.seq);
-        feedback.send(std::move(f), cfg.feedback_bits);
+        feedback.send(FeedbackMsg{std::move(f)}, cfg.feedback_bits);
     }
 
     // ---- server side (feedback path) --------------------------------------
 
     void on_feedback(const Feedback& f) {
+        // Any feedback-path arrival proves the path alive, even an ACK the
+        // sequence or admission rules go on to refuse.
+        if (repair.has_value()) repair->on_feedback_alive();
         // UDP ACKs can arrive out of order; the server acts only on the
         // highest sequence number seen (paper §4.2).
         if (f.seq <= last_ack_seq) {
@@ -966,6 +1328,37 @@ struct Session::Impl {
                 states.add(static_cast<std::int64_t>(w.governor_state));
             }
         }
+
+        // Recovery-plane accounting appears only when the plane is
+        // enabled, so oracle-driven registries stay byte-identical to
+        // pre-recovery builds.
+        if (repair.has_value()) {
+            const RepairSchedulerReport& r = repair->report();
+            m.add_counter("nack_requests_sent", nacks_sent);
+            m.add_counter("nack_requests_received", nacks_received);
+            m.add_counter("nack_requests_serviced", nacks_serviced);
+            m.add_counter("nack_suppressed_budget", nacks_suppressed_budget);
+            m.add_counter("nack_retx_packets", nack_retx_packets);
+            m.add_counter("nack_retx_bits", nack_retx_bits);
+            m.add_counter("nack_retx_skipped_deadline",
+                          nack_retx_skipped_deadline);
+            m.add_counter("nack_repairs_sent", nack_repairs_sent);
+            m.add_counter("nack_credits_expired", nack_credits_expired);
+            m.add_counter("nack_forged_rejected", nack_forged_rejected);
+            m.add_counter("recovery_nacks_admitted", r.nacks_admitted);
+            m.add_counter("recovery_nacks_duplicate", r.nacks_duplicate);
+            m.add_counter("recovery_nacks_invalid", r.nacks_invalid);
+            m.add_counter("recovery_jobs_shed", r.jobs_shed);
+            m.add_counter("recovery_jobs_expired", r.jobs_expired);
+            m.add_counter("recovery_watchdog_timeouts", r.watchdog_timeouts);
+            m.add_counter("recovery_windows_reactive", r.windows_reactive);
+            m.add_counter("recovery_windows_suspended", r.windows_suspended);
+            m.add_counter("recovery_windows_proactive", r.windows_proactive);
+            m.add_counter("data_sideband_sent",
+                          result.data_channel.sideband_sent);
+            m.add_counter("data_sideband_bits",
+                          result.data_channel.sideband_bits);
+        }
     }
 
     SessionConfig cfg;
@@ -977,7 +1370,7 @@ struct Session::Impl {
     espread::SlidingMaxEstimator sliding;
     std::optional<AdaptationGovernor> governor;  ///< engaged iff cfg.governor.enabled
     net::FaultChannel<DataMsg> data;
-    net::FaultChannel<Feedback> feedback;
+    net::FaultChannel<FeedbackMsg> feedback;
     PlayoutClock playout;
 
     std::optional<media::TraceGenerator> mpeg;
@@ -1019,6 +1412,32 @@ struct Session::Impl {
     std::uint64_t rlc_repair_bits = 0;
     sim::Histogram rlc_decode_delay_ms;    ///< loss -> decode, per recovery
     sim::Histogram rlc_in_order_delay_ms;  ///< extra in-order latency
+
+    // Receiver-authoritative recovery plane (engaged iff
+    // cfg.recovery.enabled; DESIGN.md §13).
+    struct SentFrame {
+        DataPacket prototype;             ///< header template for resends
+        std::vector<std::size_t> sizes;   ///< fragment sizes of the frame
+        bool valid = false;               ///< false = frame was never sent
+    };
+    std::optional<RepairScheduler> repair;
+    sim::Rng nack_rng{0};  ///< split 7, recovery only (backoff jitter)
+    /// Wire material per open window, by local frame (NACK retransmission
+    /// source); pruned when the window's playout budget expires.
+    std::map<std::size_t, std::vector<SentFrame>> sent_frames;
+    std::uint64_t nack_seq = 0;   ///< client NACK sequence space
+    std::uint64_t client_hi = 0;  ///< one past the highest witnessed index
+    std::size_t rlc_nack_credit = 0;  ///< banked repairs a NACK may release
+    std::size_t nacks_sent = 0;
+    std::size_t nacks_received = 0;
+    std::size_t nacks_serviced = 0;
+    std::size_t nacks_suppressed_budget = 0;
+    std::size_t nack_retx_packets = 0;
+    std::uint64_t nack_retx_bits = 0;
+    std::size_t nack_retx_skipped_deadline = 0;
+    std::size_t nack_repairs_sent = 0;
+    std::size_t nack_credits_expired = 0;
+    std::size_t nack_forged_rejected = 0;
 
     std::uint64_t next_seq = 0;
     std::uint64_t ack_seq = 0;

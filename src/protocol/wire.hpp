@@ -67,4 +67,19 @@ struct Feedback {
     std::vector<std::size_t> layer_lost;       ///< lost frame count, per layer
 };
 
+/// Client -> server repair request (receiver-authoritative recovery plane):
+/// the client names what it is still missing for one buffer window — a
+/// bitmap over the window's first 64 local frames plus the RLC decoder's
+/// rank deficit — and the sender answers with retransmissions or extra
+/// repair packets over the side band.  `retry` sequences the client's
+/// timeout/backoff rounds so a reordered or duplicated NACK cannot trigger
+/// double servicing.
+struct NackRequest {
+    std::uint64_t seq = 0;        ///< NACK sequence number (its own space)
+    std::size_t window = 0;       ///< buffer window the request covers
+    std::uint64_t missing = 0;    ///< bit f set = local frame f incomplete
+    std::size_t rank_deficit = 0; ///< RLC equations short of full rank, in [0, 255]
+    std::size_t retry = 0;        ///< backoff round that produced it, in [0, 255]
+};
+
 }  // namespace espread::proto

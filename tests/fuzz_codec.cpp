@@ -29,5 +29,8 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
     if (const auto f = espread::proto::decode_feedback(bytes)) {
         if (espread::proto::encode(*f) != bytes) std::abort();
     }
+    if (const auto n = espread::proto::decode_nack(bytes)) {
+        if (espread::proto::encode(*n) != bytes) std::abort();
+    }
     return 0;
 }

@@ -1,0 +1,30 @@
+// Fixture: D3 — `default:` label in a switch over the RecoveryMode
+// contract enum.  The repair plane's mode drives spending decisions; a
+// default label would silently swallow any future mode (e.g. a probing
+// state).  Line numbers are asserted exactly by test_lint.cpp.
+
+namespace espread::proto {
+
+enum class RecoveryMode {
+    kReactive,
+    kSuspended,
+    kProactive,
+};
+
+bool spends_now_default(RecoveryMode m) {
+    switch (m) {
+        case RecoveryMode::kReactive: return true;
+        default: return false;  // line 17: D3 — hides unseen modes
+    }
+}
+
+bool spends_now_exhaustive(RecoveryMode m) {
+    switch (m) {
+        case RecoveryMode::kReactive: return true;
+        case RecoveryMode::kSuspended: return false;
+        case RecoveryMode::kProactive: return false;
+    }
+    return false;
+}
+
+}  // namespace espread::proto

@@ -25,9 +25,11 @@ namespace {
 
 using espread::proto::DataPacket;
 using espread::proto::Feedback;
+using espread::proto::NackRequest;
 using espread::proto::WindowTrailer;
 using espread::proto::decode_data;
 using espread::proto::decode_feedback;
+using espread::proto::decode_nack;
 using espread::proto::decode_trailer;
 using espread::proto::encode;
 using espread::proto::peek_type;
@@ -84,10 +86,25 @@ Feedback random_feedback(Rng& r) {
     return f;
 }
 
+NackRequest random_nack(Rng& r) {
+    NackRequest n;
+    n.seq = r.uniform_int(0, 0xFFFFFFFFull);
+    n.window = r.uniform_int(0, 0xFFFFFFFFull);
+    n.missing = r.uniform_int(0, 0xFFFFFFFFull) |
+                (r.uniform_int(0, 0xFFFFFFFFull) << 32);
+    n.rank_deficit = r.uniform_int(0, 0xFF);
+    n.retry = r.uniform_int(0, 0xFF);
+    // An all-empty request is non-canonical (the decoder rejects it); the
+    // valid corpus must only carry requests that name something.
+    if (n.missing == 0 && n.rank_deficit == 0) n.rank_deficit = 1;
+    return n;
+}
+
 std::vector<std::uint8_t> random_valid(Rng& r) {
-    switch (r.uniform_int(0, 2)) {
+    switch (r.uniform_int(0, 3)) {
         case 0: return encode(random_data(r));
         case 1: return encode(random_trailer(r));
+        case 2: return encode(random_nack(r));
         default: return encode(random_feedback(r));
     }
 }
@@ -161,6 +178,10 @@ void check_one(const std::vector<std::uint8_t>& bytes, Tally& tally) {
         any = true;
         ASSERT_EQ(encode(*f), bytes) << "Feedback canonicity violated";
     }
+    if (const auto n = decode_nack(bytes)) {
+        any = true;
+        ASSERT_EQ(encode(*n), bytes) << "NackRequest canonicity violated";
+    }
     ++(any ? tally.accepted : tally.rejected);
 }
 
@@ -213,7 +234,19 @@ TEST(CodecFuzz, BitFlippedValidRecordsAlmostAlwaysCaughtByChecksum) {
         EXPECT_FALSE(decode_data(bytes).has_value());
         EXPECT_FALSE(decode_trailer(bytes).has_value());
         EXPECT_FALSE(decode_feedback(bytes).has_value());
+        EXPECT_FALSE(decode_nack(bytes).has_value());
     }
+}
+
+TEST(CodecFuzz, EmptyNackIsNonCanonical) {
+    // A sealed request naming no missing packets and no rank deficit is
+    // meaningless; the decoder must reject it even with a valid CRC.
+    NackRequest n;
+    n.seq = 7;
+    n.window = 3;
+    EXPECT_FALSE(decode_nack(encode(n)).has_value());
+    n.rank_deficit = 1;
+    EXPECT_TRUE(decode_nack(encode(n)).has_value());
 }
 
 }  // namespace

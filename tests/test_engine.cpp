@@ -337,6 +337,73 @@ TEST(Engine, CodedPoolOfOneMatchesReference) {
     EXPECT_DOUBLE_EQ(s.clf_mean, clf_sum / static_cast<double>(kWindows));
 }
 
+// Shard invariance holds with the NACK-lite receiver-driven arm on top of
+// FEC-lite: banking, the piggybacked NACK draw, and the watchdog are all
+// per-slot state, so cutting the slot axis differently cannot change the
+// summaries.
+TEST(Engine, NackShardCountInvariance) {
+    EngineConfig cfg = churny_config();
+    cfg.fec.enabled = true;
+    cfg.fec.overhead_num = 1;
+    cfg.fec.overhead_den = 5;
+    cfg.fec.nack = true;
+    const std::string one = run_to_json(cfg, 1, 64);
+    EXPECT_EQ(one, run_to_json(cfg, 2, 64));
+    EXPECT_EQ(one, run_to_json(cfg, 8, 64));
+    // And receiver-driven banking is not a no-op relative to the fixed
+    // proactive schedule.
+    EngineConfig fixed = cfg;
+    fixed.fec.nack = false;
+    EXPECT_NE(one, run_to_json(fixed, 1, 64));
+}
+
+// The NACK-lite arm reacts to loss and degrades gracefully: on a lossy
+// feedback path some requests die, and when feedback is fully dead the
+// watchdog reverts every slot to the fixed proactive schedule after the
+// grace windows — banked credits stop leaking and repairs keep flowing.
+TEST(Engine, NackArmReactsAndDegradesGracefully) {
+    EngineConfig cfg;
+    cfg.sessions = 16;
+    cfg.shards = 2;
+    cfg.feedback_loss = {0.9, 0.5};
+    cfg.fec.enabled = true;
+    cfg.fec.overhead_num = 1;
+    cfg.fec.overhead_den = 4;
+    cfg.fec.nack = true;
+    cfg.seed = 7;
+    constexpr std::size_t kWindows = 200;
+
+    ShardedEngine live(cfg);
+    live.run(kWindows);
+    const EngineSummary s = live.summary();
+    EXPECT_TRUE(s.nack);
+    EXPECT_GT(s.nack_requests_sent, 0u);
+    EXPECT_GT(s.nack_requests_lost, 0u);
+    EXPECT_GT(s.nack_repair_packets, 0u);
+    // Banking never spends more than the fixed schedule accrues.
+    EXPECT_LE(s.nack_repair_packets, s.fec_repair_packets + 1);
+
+    EngineConfig dead = cfg;
+    dead.feedback_loss = {0.92, 0.6, 1.0, 1.0};  // every feedback lost
+    ShardedEngine blackout(dead);
+    blackout.run(kWindows);
+    const EngineSummary b = blackout.summary();
+    EXPECT_EQ(b.nack_requests_lost, b.nack_requests_sent);
+    EXPECT_GT(b.nack_windows_proactive, 0u);
+    // Dead feedback degrades to (nearly) the full fixed schedule: only
+    // the pre-watchdog grace windows withhold repairs.
+    EXPECT_GT(b.fec_repair_packets, 0u);
+}
+
+// With the NACK-lite arm off, a coded summary carries no nack_* keys and
+// the fec-only numbers are untouched by the arm's presence in the build.
+TEST(Engine, NackOffLeaksNothingIntoCodedSummaries) {
+    EngineConfig cfg = churny_config();
+    cfg.fec.enabled = true;
+    const std::string json = run_to_json(cfg, 1, 64);
+    EXPECT_EQ(json.find("nack_"), std::string::npos);
+}
+
 // Config validation rejects out-of-range parameters before any arena is
 // built.
 TEST(Engine, ValidatesConfig) {
@@ -359,6 +426,14 @@ TEST(Engine, ValidatesConfig) {
     cfg = EngineConfig{};
     cfg.fec.enabled = true;
     cfg.fec.overhead_den = 0;
+    EXPECT_THROW(ShardedEngine{cfg}, std::invalid_argument);
+    cfg = EngineConfig{};
+    cfg.fec.nack = true;  // requires the fec arm
+    EXPECT_THROW(ShardedEngine{cfg}, std::invalid_argument);
+    cfg = EngineConfig{};
+    cfg.fec.enabled = true;
+    cfg.fec.nack = true;
+    cfg.fec.nack_credit_cap = 0;
     EXPECT_THROW(ShardedEngine{cfg}, std::invalid_argument);
 }
 

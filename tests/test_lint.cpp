@@ -82,6 +82,12 @@ TEST(LintFixtures, D3FlagsDefaultInSchemeSwitchAcceptsExhaustiveOne) {
     EXPECT_EQ(keys(diags), (Keys{{"D3", 21}}));
 }
 
+TEST(LintFixtures, D3FlagsDefaultInRecoveryModeSwitchAcceptsExhaustiveOne) {
+    const auto diags =
+        lint_fixture("src/protocol/d3_recovery_mode_switch.cpp");
+    EXPECT_EQ(keys(diags), (Keys{{"D3", 17}}));
+}
+
 TEST(LintFixtures, D4FlagsUngatedSinkCallAcceptsGatedOne) {
     const auto diags = lint_fixture("src/protocol/d4_ungated_sink.cpp");
     EXPECT_EQ(keys(diags), (Keys{{"D4", 15}}));
@@ -120,8 +126,8 @@ TEST(LintFixtures, SuppressionWithoutReasonIsFlaggedAndIneffective) {
 TEST(LintFixtures, TreeScanAggregatesAllSeededViolations) {
     const auto diags = espread::lint::lint_tree(ESPREAD_LINT_FIXTURES,
                                                 {"src"}, bare_config());
-    // 1 (D1) + 2 (D2) + 2 (D3) + 3 (D4) + 3 (D5) + 2 (D0+D1 no-reason).
-    EXPECT_EQ(diags.size(), 13u);
+    // 1 (D1) + 2 (D2) + 3 (D3) + 3 (D4) + 3 (D5) + 2 (D0+D1 no-reason).
+    EXPECT_EQ(diags.size(), 14u);
     // Deterministic order: sorted by path, then line.
     for (std::size_t i = 1; i < diags.size(); ++i) {
         EXPECT_LE(diags[i - 1].path, diags[i].path);

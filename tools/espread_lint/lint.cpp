@@ -600,7 +600,7 @@ LintConfig default_config() {
     LintConfig cfg;
     cfg.contract_enums = {"EventType",       "Actor",    "GovernorState",
                           "AckRejectReason", "WireType", "FrameType",
-                          "Scheme"};
+                          "Scheme",          "RecoveryMode"};
     cfg.ordered_output_paths = {"src/engine/", "src/exp/", "src/obs/",
                                 "src/protocol/report"};
     cfg.library_paths = {"src/"};
