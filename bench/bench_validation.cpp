@@ -11,6 +11,7 @@
 #include "analysis/markov.hpp"
 #include "analysis/multiburst.hpp"
 #include "core/permutation.hpp"
+#include "sim/contracts.hpp"
 
 using espread::analysis::clf_distribution_in_order;
 using espread::analysis::expected_clf_in_order;
@@ -32,7 +33,8 @@ int main() {
         // Sample the same chain.
         std::vector<std::size_t> counts(kN + 1, 0);
         espread::sim::Rng rng{12345};
-        espread::net::GilbertLoss chain{params, rng.split(1)};
+        espread::net::GilbertLoss chain{
+            params, rng.split(espread::contracts::kAnalysisLaneGilbertChain)};
         espread::sim::RunningStats sampled_clf;
         for (std::size_t t = 0; t < kTrials; ++t) {
             std::size_t run = 0;

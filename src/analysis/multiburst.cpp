@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/burst.hpp"
+#include "sim/contracts.hpp"
 
 namespace espread::analysis {
 
@@ -59,7 +60,8 @@ GilbertClfResult gilbert_clf(const Permutation& perm,
     GilbertClfResult result;
     if (n == 0 || trials == 0) return result;
 
-    net::GilbertLoss chain{params, rng.split(1)};
+    net::GilbertLoss chain{params,
+                           rng.split(contracts::kAnalysisLaneGilbertChain)};
     std::size_t lost_total = 0;
     for (std::size_t t = 0; t < trials; ++t) {
         LossMask playback(n, true);

@@ -8,6 +8,7 @@
 #include "core/cpo.hpp"
 #include "core/estimator.hpp"
 #include "core/metrics.hpp"
+#include "sim/contracts.hpp"
 #include "sim/rng.hpp"
 
 namespace espread::engine {
@@ -143,7 +144,7 @@ SessionPool::SessionPool(const EngineConfig& cfg) : cfg_(cfg) {
 std::pair<std::uint32_t, std::uint32_t> SessionPool::churn_draw(
     const EngineConfig& cfg, std::uint64_t session_id) {
     sim::Rng root(sim::derive_seed(cfg.seed, session_id));
-    sim::Rng life = root.split(3);
+    sim::Rng life = root.split(contracts::kEngineLaneChurn);
     const double min_life =
         static_cast<double>(cfg.churn.min_lifetime_windows);
     const double extra = cfg.churn.mean_lifetime_windows > min_life
@@ -166,8 +167,12 @@ void SessionPool::spawn(std::size_t slot) {
             static_cast<std::uint64_t>(capacity_) +
         static_cast<std::uint64_t>(slot);
     sim::Rng root(sim::derive_seed(cfg_.seed, id));
-    data_chain_[slot] = net::GilbertLoss(cfg_.data_loss, root.split(1));
-    feedback_chain_[slot] = net::GilbertLoss(cfg_.feedback_loss, root.split(2));
+    data_chain_[slot] =
+        net::GilbertLoss(cfg_.data_loss,
+                         root.split(contracts::kEngineLaneDataChain));
+    feedback_chain_[slot] =
+        net::GilbertLoss(cfg_.feedback_loss,
+                         root.split(contracts::kEngineLaneFeedbackChain));
     estimate_[slot] = static_cast<double>(n_) / 2.0;
     windows_run_[slot] = 0;
     const std::size_t D = cfg_.feedback_delay_windows;

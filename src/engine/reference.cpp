@@ -8,6 +8,7 @@
 #include "core/permutation.hpp"
 #include "engine/governor_lite.hpp"
 #include "net/gilbert.hpp"
+#include "sim/contracts.hpp"
 #include "sim/rng.hpp"
 
 namespace espread::engine {
@@ -24,8 +25,10 @@ ReferenceTrace run_reference_session(const EngineConfig& cfg,
                         : 0;
 
     sim::Rng root(sim::derive_seed(cfg.seed, session_id));
-    net::GilbertLoss data(cfg.data_loss, root.split(1));
-    net::GilbertLoss feedback(cfg.feedback_loss, root.split(2));
+    net::GilbertLoss data(cfg.data_loss,
+                          root.split(contracts::kEngineLaneDataChain));
+    net::GilbertLoss feedback(cfg.feedback_loss,
+                              root.split(contracts::kEngineLaneFeedbackChain));
     // Plain-double Eq. 1 state, written with the exact expressions the
     // pool uses (identical to BurstEstimator::update), so governed and
     // ungoverned traces both predict the SoA slot bit-for-bit.

@@ -36,8 +36,9 @@ struct ReferenceTrace {
 /// `session_id` under `cfg` (churn ignored: the caller decides how many
 /// windows a generation lives).  Uses the same RNG stream layout as
 /// SessionPool::spawn — root = derive_seed(cfg.seed, session_id), data
-/// chain = split(1), feedback chain = split(2) — so the trace predicts
-/// the pool slot exactly.
+/// chain = split(kEngineLaneDataChain), feedback chain =
+/// split(kEngineLaneFeedbackChain) — so the trace predicts the pool slot
+/// exactly.
 ReferenceTrace run_reference_session(const EngineConfig& cfg,
                                      std::uint64_t session_id,
                                      std::size_t windows);

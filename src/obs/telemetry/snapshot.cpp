@@ -196,9 +196,12 @@ std::string prometheus_text(const FleetSnapshot& s, const std::string& prefix) {
                kStateNames[st] + "\"} " +
                std::to_string(s.totals.governor_windows[st]) + "\n";
     }
-    prom_histogram(out, prefix, "window_clf", s.clf);
+    // Histogram names are the four telemetry signal names (contracts.hpp
+    // kTelemetrySignalNames), matching the snapshot-series keys and the
+    // SLO objective spec — previously drifted as window_clf/bound_used.
+    prom_histogram(out, prefix, "clf", s.clf);
     prom_histogram(out, prefix, "loss_run", s.loss_run);
-    prom_histogram(out, prefix, "bound_used", s.bound);
+    prom_histogram(out, prefix, "bound", s.bound);
     prom_histogram(out, prefix, "governor_dwell", s.governor_dwell);
     return out;
 }

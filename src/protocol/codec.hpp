@@ -20,16 +20,18 @@
 #include <vector>
 
 #include "protocol/wire.hpp"
+#include "sim/contracts.hpp"
 
 namespace espread::proto {
 
-/// Wire type tags (first byte of every record).
+/// Wire type tags (first byte of every record); the tag values are owned
+/// by the contract registry (sim/contracts.hpp) and enforced by lint C2.
 enum class WireType : std::uint8_t {
-    kData = 1,
-    kTrailer = 2,
-    kFeedback = 3,
-    kRepair = 4,
-    kNack = 5,
+    kData = contracts::kWireTagData,
+    kTrailer = contracts::kWireTagTrailer,
+    kFeedback = contracts::kWireTagFeedback,
+    kRepair = contracts::kWireTagRepair,
+    kNack = contracts::kWireTagNack,
 };
 
 /// Serialized bytes of each record type.

@@ -125,8 +125,8 @@ struct RecoveryConfig {
     double backoff_base = 2.0;
 
     /// Uniform jitter applied to every timeout, as a +/- fraction of it,
-    /// drawn from a dedicated RNG lane (rng.split(7)) so enabling recovery
-    /// never shifts the loss, media, or impairment processes.
+    /// drawn from a dedicated RNG lane (kSessionLaneNackJitter) so enabling
+    /// recovery never shifts the loss, media, or impairment processes.
     double jitter_frac = 0.25;
 
     /// Bound on the sender's queued repair jobs while servicing is

@@ -19,6 +19,7 @@
 #include "protocol/codec.hpp"
 #include "protocol/governor.hpp"
 #include "protocol/recovery.hpp"
+#include "sim/contracts.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 
@@ -116,21 +117,24 @@ struct Session::Impl {
           estimator(std::max<std::size_t>(planner.noncritical_size(), 1), cfg.alpha),
           sliding(std::max<std::size_t>(planner.noncritical_size(), 1),
                   std::max<std::size_t>(cfg.sliding_history, 1)),
-          data(queue, cfg.data_link, cfg.data_loss, rng.split(1)),
-          feedback(queue, cfg.feedback_link, cfg.feedback_loss, rng.split(2)),
+          data(queue, cfg.data_link, cfg.data_loss,
+               rng.split(contracts::kSessionLaneDataChannel)),
+          feedback(queue, cfg.feedback_link, cfg.feedback_loss,
+                   rng.split(contracts::kSessionLaneFeedbackChannel)),
           playout(cfg.frame_rate(),
                   static_cast<sim::SimTime>(cfg.playout_startup_windows *
                                             static_cast<double>(
                                                 cfg.window_duration()))) {
         if (cfg.stream.kind == StreamKind::kMpeg) {
-            sim::Rng trace_rng = rng.split(3);
+            sim::Rng trace_rng = rng.split(contracts::kSessionLaneMediaTrace);
             mpeg.emplace(media::movie_stats(cfg.stream.movie), trace_rng.next_u64());
         } else if (cfg.stream.kind == StreamKind::kTraceFile) {
             load_trace_file();
         } else {
             const std::size_t total = cfg.num_windows * cfg.window_ldus();
             if (cfg.stream.kind == StreamKind::kMjpeg) {
-                sim::Rng trace_rng = rng.split(3);
+                sim::Rng trace_rng =
+                    rng.split(contracts::kSessionLaneMediaTrace);
                 pregen = media::mjpeg_trace(total, cfg.stream.mjpeg_mean_bits,
                                             trace_rng.next_u64());
             } else {
@@ -140,7 +144,8 @@ struct Session::Impl {
 
         if (cfg.data_impairment.active()) {
             const std::size_t flips = cfg.data_impairment.corrupt_max_bit_flips;
-            data.set_impairments(cfg.data_impairment, rng.split(4),
+            data.set_impairments(cfg.data_impairment,
+                                 rng.split(contracts::kSessionLaneDataImpairment),
                                  [flips](const DataMsg& m, sim::Rng& r) {
                                      return corrupt_data_msg(m, r, flips);
                                  });
@@ -150,7 +155,8 @@ struct Session::Impl {
                 cfg.feedback_impairment.corrupt_max_bit_flips;
             const bool allow_nack = cfg.recovery.enabled;
             feedback.set_impairments(
-                cfg.feedback_impairment, rng.split(5),
+                cfg.feedback_impairment,
+                rng.split(contracts::kSessionLaneFeedbackImpairment),
                 [flips, allow_nack](const FeedbackMsg& m, sim::Rng& r) {
                     return corrupt_feedback_msg(m, r, flips, allow_nack);
                 });
@@ -206,19 +212,19 @@ struct Session::Impl {
         }
 
         if (cfg.rlc_active()) {
-            // Coefficient seeds draw from their own RNG stream (split 6) so
-            // enabling the code never shifts the Gilbert loss, media, or
+            // Coefficient seeds draw from their own RNG lane so enabling
+            // the code never shifts the Gilbert loss, media, or
             // impairment processes; an uncoded session never takes this
             // split and stays byte-identical to pre-FEC builds.
-            rlc_rng = rng.split(6);
+            rlc_rng = rng.split(contracts::kSessionLaneRlcCoefficients);
             rlc_decoder.emplace(cfg.rlc.window_packets, /*symbol_bytes=*/0);
         }
 
         if (cfg.recovery.enabled) {
             // NACK backoff jitter draws from its own RNG lane so enabling
             // the plane never shifts the loss, media, or impairment
-            // processes; a recovery-off session never takes split 7.
-            nack_rng = rng.split(7);
+            // processes; a recovery-off session never takes this split.
+            nack_rng = rng.split(contracts::kSessionLaneNackJitter);
             repair.emplace(cfg.recovery, cfg.num_windows);
         }
     }

@@ -1,0 +1,9 @@
+// Seeded C1: an engine TU splitting a Session-family lane (scope breach).
+#include "sim/contracts.hpp"
+
+void engine_user(Rng& root) {
+    auto churn = root.split(espread::contracts::kEngineLaneChurn);
+    auto leak = root.split(espread::contracts::kSessionLaneData);
+    (void)churn;
+    (void)leak;
+}

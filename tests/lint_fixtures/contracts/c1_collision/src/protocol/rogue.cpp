@@ -1,0 +1,11 @@
+// Seeded C1: a lane constant declared outside the registry.
+#include <cstdint>
+
+namespace {
+inline constexpr std::uint64_t kSessionLaneRogue = 9;
+}  // namespace
+
+void rogue(Rng& rng) {
+    auto r = rng.split(kSessionLaneRogue);
+    (void)r;
+}

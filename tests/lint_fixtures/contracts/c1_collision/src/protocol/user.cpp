@@ -1,0 +1,7 @@
+// In-scope use of the Session lane keeps it alive.
+#include "sim/contracts.hpp"
+
+void user(Rng& rng) {
+    auto a = rng.split(espread::contracts::kSessionLaneData);
+    (void)a;
+}

@@ -1,0 +1,11 @@
+// Fixture registry: a lane value collision inside the Session family.
+#pragma once
+#include <cstdint>
+
+namespace espread::contracts {
+
+inline constexpr std::uint64_t kSessionLaneData = 1;
+inline constexpr std::uint64_t kSessionLaneFeedback = 1;
+inline constexpr std::uint64_t kEngineLaneChurn = 1;
+
+}  // namespace espread::contracts

@@ -1,0 +1,11 @@
+// Seeded C1: a registered lane, a magic lane, and a suppressed magic lane.
+#include "sim/contracts.hpp"
+
+void user(Rng& rng) {
+    auto a = rng.split(espread::contracts::kSessionLaneData);
+    auto b = rng.split(4);
+    auto c = rng.split(5);  // espread-lint: allow(C1) legacy lane, migration tracked
+    (void)a;
+    (void)b;
+    (void)c;
+}

@@ -1,0 +1,9 @@
+// Fixture registry: one Session lane.
+#pragma once
+#include <cstdint>
+
+namespace espread::contracts {
+
+inline constexpr std::uint64_t kSessionLaneData = 1;
+
+}  // namespace espread::contracts

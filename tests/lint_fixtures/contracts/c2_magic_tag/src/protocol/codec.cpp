@@ -1,0 +1,5 @@
+// Fixture codec TU: canonical decoders for both tags.
+#include "codec.hpp"
+
+bool decode_data(const unsigned char* p) { return p != nullptr; }
+bool decode_repair(const unsigned char* p) { return p != nullptr; }

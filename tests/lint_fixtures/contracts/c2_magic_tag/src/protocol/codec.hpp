@@ -1,0 +1,16 @@
+// Seeded C2: an enumerator with a magic tag byte instead of its registry
+// constant (which in turn goes dead, C5).
+#pragma once
+#include <cstdint>
+
+#include "sim/contracts.hpp"
+
+namespace espread::proto {
+
+enum class WireType : std::uint8_t {
+    kData = espread::contracts::kWireTagData,
+    kRepair = 9,
+    kLegacy = 7,  // espread-lint: allow(C2) reserved legacy tag, migration tracked
+};
+
+}  // namespace espread::proto

@@ -1,0 +1,10 @@
+// Fixture registry: two wire tags.
+#pragma once
+#include <cstdint>
+
+namespace espread::contracts {
+
+inline constexpr std::uint8_t kWireTagData = 1;
+inline constexpr std::uint8_t kWireTagRepair = 4;
+
+}  // namespace espread::contracts

@@ -1,0 +1,5 @@
+// Fixture fuzz corpus: exercises both decoders.
+void fuzz() {
+    decode_data(nullptr);
+    decode_repair(nullptr);
+}

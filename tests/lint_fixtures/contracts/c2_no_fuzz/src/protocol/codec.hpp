@@ -1,0 +1,14 @@
+// Fixture codec header: both enumerators take their registry constants.
+#pragma once
+#include <cstdint>
+
+#include "sim/contracts.hpp"
+
+namespace espread::proto {
+
+enum class WireType : std::uint8_t {
+    kData = espread::contracts::kWireTagData,
+    kRepair = espread::contracts::kWireTagRepair,
+};
+
+}  // namespace espread::proto

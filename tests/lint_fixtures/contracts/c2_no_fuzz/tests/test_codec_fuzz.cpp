@@ -1,0 +1,2 @@
+// Seeded C2: the corpus exercises decode_data but never decode_repair.
+void fuzz() { decode_data(nullptr); }

@@ -1,0 +1,11 @@
+// Seeded C3: the signal-name translation drifted from the registry —
+// "bound" became "bound_used" here, so producers and consumers disagree.
+#include "sim/contracts.hpp"
+
+const char* signal_name(SloSignal s) {
+    switch (s) {
+        case SloSignal::kClf: return "clf";
+        case SloSignal::kBound: return "bound_used";
+    }
+    return "?";
+}

@@ -1,0 +1,12 @@
+// Fixture registry: the telemetry signal names.
+#pragma once
+#include <string_view>
+
+namespace espread::contracts {
+
+inline constexpr std::string_view kTelemetrySignalNames[] = {
+    "clf",
+    "bound",
+};
+
+}  // namespace espread::contracts

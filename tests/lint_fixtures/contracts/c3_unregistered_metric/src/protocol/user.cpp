@@ -1,0 +1,8 @@
+// Seeded C3: one registered metric, one rogue, one suppressed rogue.
+#include "sim/contracts.hpp"
+
+void record(Metrics& m) {
+    m.add_counter("good_metric", 1);
+    m.add_counter("rogue_metric", 2);
+    m.add_counter("shim_metric", 3);  // espread-lint: allow(C3) migration shim, removal tracked
+}

@@ -1,0 +1,11 @@
+// Fixture registry: one registered session metric.
+#pragma once
+#include <string_view>
+
+namespace espread::contracts {
+
+inline constexpr std::string_view kSessionMetricNames[] = {
+    "good_metric",
+};
+
+}  // namespace espread::contracts

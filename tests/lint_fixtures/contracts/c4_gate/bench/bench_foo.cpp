@@ -1,0 +1,2 @@
+// Fixture bench: emits the registered key, not the one CI gates on.
+void emit(Json& json) { json.key("windows_per_second").value(1.0); }

@@ -1,0 +1,11 @@
+// Fixture registry: one bench claim-gate key.
+#pragma once
+#include <string_view>
+
+namespace espread::contracts {
+
+inline constexpr std::string_view kBenchGateKeys[] = {
+    "windows_per_second",
+};
+
+}  // namespace espread::contracts

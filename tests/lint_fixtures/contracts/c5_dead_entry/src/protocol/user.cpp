@@ -1,0 +1,8 @@
+// Uses one lane and one metric; the other registry entries go dead.
+#include "sim/contracts.hpp"
+
+void user(Rng& rng, Metrics& m) {
+    auto a = rng.split(espread::contracts::kSessionLaneUsed);
+    m.add_counter("used_metric", 1);
+    (void)a;
+}

@@ -1,0 +1,13 @@
+// Fixture codec header, consistent with the registry.
+#pragma once
+#include <cstdint>
+
+#include "sim/contracts.hpp"
+
+namespace espread::proto {
+
+enum class WireType : std::uint8_t {
+    kData = espread::contracts::kWireTagData,
+};
+
+}  // namespace espread::proto

@@ -1,0 +1,8 @@
+// Consistent consumer: registered lane, registered metric.
+#include "sim/contracts.hpp"
+
+void user(Rng& rng, Metrics& m) {
+    auto a = rng.split(espread::contracts::kSessionLaneData);
+    m.add_counter("good_metric", 1);
+    (void)a;
+}

@@ -1,0 +1,2 @@
+// Fixture fuzz corpus covering the only tag.
+void fuzz() { decode_data(nullptr); }

@@ -15,10 +15,13 @@
 #include <utility>
 #include <vector>
 
+#include "contracts.hpp"
+
 namespace {
 
 using espread::lint::Diagnostic;
 using espread::lint::LintConfig;
+using espread::lint::ScanOptions;
 using espread::lint::Severity;
 
 // Fixture scans run without the repo allowlist: the allowlist's job on the
@@ -28,6 +31,18 @@ LintConfig bare_config() { return espread::lint::default_config(); }
 std::vector<Diagnostic> lint_fixture(const std::string& rel) {
     return espread::lint::lint_file(
         std::string(ESPREAD_LINT_FIXTURES) + "/" + rel, rel, bare_config());
+}
+
+// Contract fixtures are mini repo trees under contracts/<case>/; each scan
+// runs the C rules only, so the fixtures need not be D-clean.
+std::vector<Diagnostic> scan_contract_fixture(
+    const std::string& fixture, const std::vector<std::string>& paths) {
+    ScanOptions opt;
+    opt.token_rules = false;
+    opt.contract_rules = true;
+    return espread::lint::scan_tree(
+        std::string(ESPREAD_LINT_FIXTURES) + "/contracts/" + fixture, paths,
+        bare_config(), opt);
 }
 
 /// (rule, line) pairs, for order-insensitive exact-set comparison.
@@ -41,14 +56,20 @@ std::vector<std::pair<std::string, std::size_t>> keys(
 
 using Keys = std::vector<std::pair<std::string, std::size_t>>;
 
-TEST(LintRules, TableListsD0ThroughD5) {
+TEST(LintRules, TableListsTokenAndContractRules) {
     const auto& rules = espread::lint::rules();
-    ASSERT_EQ(rules.size(), 6u);
-    for (std::size_t i = 0; i < rules.size(); ++i) {
+    ASSERT_EQ(rules.size(), 11u);
+    for (std::size_t i = 0; i < 6; ++i) {
         EXPECT_EQ(rules[i].id, "D" + std::to_string(i));
         EXPECT_TRUE(espread::lint::known_rule(rules[i].id));
     }
+    for (std::size_t i = 6; i < rules.size(); ++i) {
+        EXPECT_EQ(rules[i].id, "C" + std::to_string(i - 5));
+        EXPECT_TRUE(espread::lint::known_rule(rules[i].id));
+    }
     EXPECT_FALSE(espread::lint::known_rule("D9"));
+    EXPECT_FALSE(espread::lint::known_rule("C0"));
+    EXPECT_FALSE(espread::lint::known_rule("C6"));
     EXPECT_FALSE(espread::lint::known_rule(""));
 }
 
@@ -153,16 +174,24 @@ TEST(LintSuppressions, SuppressionOnlyMutesNamedRules) {
     EXPECT_EQ(keys(diags), (Keys{{"D1", 2}}));
 }
 
-TEST(LintAllowlist, GlobMatchingCrossesDirectories) {
+TEST(LintAllowlist, GlobMatchingIsSegmentAwareWithDoubleStar) {
     using espread::lint::glob_match;
     EXPECT_TRUE(glob_match("src/sim/rng.*", "src/sim/rng.cpp"));
     EXPECT_TRUE(glob_match("src/sim/rng.*", "src/sim/rng.hpp"));
     EXPECT_FALSE(glob_match("src/sim/rng.*", "src/sim/stats.cpp"));
     EXPECT_TRUE(glob_match("bench/*", "bench/bench_fig8_loss.cpp"));
-    EXPECT_TRUE(glob_match("tests/lint_fixtures/*",
+    // `*` stops at '/': nested paths need `**`.
+    EXPECT_FALSE(glob_match("bench/*", "bench/baselines/frozen.cpp"));
+    EXPECT_TRUE(glob_match("bench/**", "bench/baselines/frozen.cpp"));
+    EXPECT_TRUE(glob_match("tests/lint_fixtures/**",
                            "tests/lint_fixtures/src/core/clean.cpp"));
-    EXPECT_FALSE(glob_match("tests/lint_fixtures/*", "tests/test_lint.cpp"));
-    EXPECT_TRUE(glob_match("*", "anything/at/all.hpp"));
+    EXPECT_FALSE(glob_match("tests/lint_fixtures/*",
+                            "tests/lint_fixtures/src/core/clean.cpp"));
+    EXPECT_FALSE(glob_match("tests/lint_fixtures/**", "tests/test_lint.cpp"));
+    EXPECT_FALSE(glob_match("*", "anything/at/all.hpp"));
+    EXPECT_TRUE(glob_match("**", "anything/at/all.hpp"));
+    EXPECT_TRUE(glob_match("src/**/rng.?pp", "src/sim/detail/rng.hpp"));
+    EXPECT_FALSE(glob_match("src/?", "src/ab"));
 }
 
 TEST(LintAllowlist, EntriesExemptMatchingFilesFromTheNamedRule) {
@@ -180,9 +209,151 @@ TEST(LintFormat, GccStyleDiagnosticsAreClickable) {
               "src/exp/runner.cpp:94: error: bad [D1]");
 }
 
-// The acceptance gate: the real tree lints clean under the shipped
-// allowlist — exactly the scan CI runs (espread_lint --root=<repo> src
-// bench tests examples).
+// ---- contract rules (C1-C5) over fixture mini-trees ------------------------
+
+TEST(ContractFixtures, C1FlagsMagicLaneAndHonorsSuppression) {
+    const auto diags = scan_contract_fixture("c1_magic_lane", {"src"});
+    ASSERT_EQ(keys(diags), (Keys{{"C1", 6}}));
+    EXPECT_EQ(diags[0].path, "src/protocol/user.cpp");
+    EXPECT_NE(diags[0].message.find("magic RNG split lane 4"),
+              std::string::npos);
+}
+
+TEST(ContractFixtures, C1FlagsCollisionScopeBreachAndRogueDeclaration) {
+    const auto diags = scan_contract_fixture("c1_collision", {"src"});
+    ASSERT_EQ(diags.size(), 4u);
+    // Sorted by path: the scope breach, the out-of-registry declaration and
+    // its (unregistered) use, then the value collision in the registry.
+    EXPECT_EQ(diags[0].path, "src/engine/user.cpp");
+    EXPECT_EQ(keys(diags), (Keys{{"C1", 6}, {"C1", 5}, {"C1", 9}, {"C1", 8}}));
+    EXPECT_EQ(diags[1].path, "src/protocol/rogue.cpp");
+    EXPECT_EQ(diags[3].path, "src/sim/contracts.hpp");
+    EXPECT_NE(diags[3].message.find("collides"), std::string::npos);
+}
+
+TEST(ContractFixtures, C2FlagsMagicTagAndTheTagItOrphans) {
+    const auto diags = scan_contract_fixture("c2_magic_tag", {"src", "tests"});
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_EQ(keys(diags), (Keys{{"C2", 12}, {"C5", 8}}));
+    EXPECT_EQ(diags[0].path, "src/protocol/codec.hpp");
+    EXPECT_NE(diags[0].message.find("magic wire tag 9"), std::string::npos);
+    EXPECT_EQ(diags[1].path, "src/sim/contracts.hpp");
+    EXPECT_NE(diags[1].message.find("dead wire tag"), std::string::npos);
+}
+
+TEST(ContractFixtures, C2FlagsTagWithoutFuzzCorpusCoverage) {
+    const auto diags = scan_contract_fixture("c2_no_fuzz", {"src", "tests"});
+    ASSERT_EQ(keys(diags), (Keys{{"C2", 8}}));
+    EXPECT_EQ(diags[0].path, "src/sim/contracts.hpp");
+    EXPECT_NE(diags[0].message.find("fuzz"), std::string::npos);
+}
+
+TEST(ContractFixtures, C3FlagsUnregisteredMetricAndHonorsSuppression) {
+    const auto diags =
+        scan_contract_fixture("c3_unregistered_metric", {"src"});
+    ASSERT_EQ(keys(diags), (Keys{{"C3", 6}}));
+    EXPECT_EQ(diags[0].path, "src/protocol/user.cpp");
+    EXPECT_NE(diags[0].message.find("rogue_metric"), std::string::npos);
+}
+
+TEST(ContractFixtures, C3FlagsSignalNameDriftInBothDirections) {
+    const auto diags = scan_contract_fixture("c3_signal_drift", {"src"});
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_EQ(keys(diags), (Keys{{"C3", 8}, {"C3", 9}}));
+    EXPECT_EQ(diags[0].path, "src/obs/telemetry/slo.cpp");
+    EXPECT_NE(diags[0].message.find("bound_used"), std::string::npos);
+    EXPECT_EQ(diags[1].path, "src/sim/contracts.hpp");
+    EXPECT_NE(diags[1].message.find("\"bound\""), std::string::npos);
+}
+
+TEST(ContractFixtures, C4FlagsUnregisteredGateKeyAndUnemittedKey) {
+    const auto diags = scan_contract_fixture("c4_gate", {"src", "bench"});
+    ASSERT_EQ(diags.size(), 4u);
+    EXPECT_EQ(diags[0].path, ".github/workflows/ci.yml");
+    EXPECT_EQ(diags[1].path, ".github/workflows/ci.yml");
+    EXPECT_EQ(keys(diags), (Keys{{"C4", 6}, {"C4", 6}, {"C5", 4}, {"C5", 8}}));
+    EXPECT_EQ(diags[2].path, "bench/baselines/BENCH_baseline.json");
+    EXPECT_NE(diags[2].message.find("bench_stale"), std::string::npos);
+    EXPECT_EQ(diags[3].path, "src/sim/contracts.hpp");
+    EXPECT_NE(diags[3].message.find("windows_per_second"), std::string::npos);
+}
+
+TEST(ContractFixtures, C5FlagsDeadLaneAndDeadMetricEntryHonorsSuppression) {
+    // kSessionLaneParked is equally dead but carries a reasoned allow(C5).
+    const auto diags = scan_contract_fixture("c5_dead_entry", {"src"});
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_EQ(keys(diags), (Keys{{"C5", 9}, {"C5", 14}}));
+    EXPECT_EQ(diags[0].path, "src/sim/contracts.hpp");
+    EXPECT_NE(diags[0].message.find("kSessionLaneDead"), std::string::npos);
+    EXPECT_NE(diags[1].message.find("dead_metric"), std::string::npos);
+}
+
+TEST(ContractFixtures, C4AllowlistEntrySilencesGateSurfaceFindings) {
+    // ci.yml cannot carry inline suppressions; the allowlist is the
+    // sanctioned mute for external gate surfaces.
+    ScanOptions opt;
+    opt.token_rules = false;
+    opt.contract_rules = true;
+    LintConfig cfg = bare_config();
+    cfg.allowlist.push_back({"C4", ".github/**"});
+    const auto diags = espread::lint::scan_tree(
+        std::string(ESPREAD_LINT_FIXTURES) + "/contracts/c4_gate",
+        {"src", "bench"}, cfg, opt);
+    EXPECT_EQ(keys(diags), (Keys{{"C5", 4}, {"C5", 8}}));
+}
+
+TEST(ContractFixtures, ConsistentTreeIsClean) {
+    const auto diags = scan_contract_fixture("clean", {"src", "tests"});
+    EXPECT_TRUE(diags.empty()) << espread::lint::format_gcc(diags.front());
+}
+
+TEST(ContractFixtures, ParallelScanIsByteIdenticalToSerial) {
+    ScanOptions serial;
+    serial.token_rules = true;
+    serial.contract_rules = true;
+    serial.jobs = 1;
+    ScanOptions parallel = serial;
+    parallel.jobs = 4;
+    const std::string root =
+        std::string(ESPREAD_LINT_FIXTURES) + "/contracts/c1_collision";
+    const auto a =
+        espread::lint::scan_tree(root, {"src"}, bare_config(), serial);
+    const auto b =
+        espread::lint::scan_tree(root, {"src"}, bare_config(), parallel);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(espread::lint::format_gcc(a[i]),
+                  espread::lint::format_gcc(b[i]));
+    }
+}
+
+TEST(ContractOutput, SarifReportCarriesRulesAndFindings) {
+    const auto diags = scan_contract_fixture("c1_magic_lane", {"src"});
+    ASSERT_FALSE(diags.empty());
+    const std::string sarif = espread::lint::sarif_json(diags);
+    EXPECT_NE(sarif.find("\"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"espread_lint\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"ruleId\": \"C1\""), std::string::npos);
+    EXPECT_NE(sarif.find("src/protocol/user.cpp"), std::string::npos);
+    EXPECT_NE(sarif.find("\"startLine\": 6"), std::string::npos);
+}
+
+TEST(ContractOutput, CoverageGapsReportsCompiledButUnscannedTUs) {
+    const std::vector<std::string> visited = {"src/a.cpp", "src/b.cpp"};
+    const std::string cc =
+        "[{\"directory\": \"/repo/build\", \"file\": \"/repo/src/a.cpp\"},\n"
+        " {\"directory\": \"/repo/build\", \"file\": \"/repo/src/c.cpp\"},\n"
+        " {\"directory\": \"/repo/build\", \"file\": \"/repo/tools/x.cpp\"}]";
+    const auto gaps =
+        espread::lint::coverage_gaps(visited, cc, "/repo", {"src/"});
+    ASSERT_EQ(gaps.size(), 1u);
+    EXPECT_EQ(gaps[0], "src/c.cpp");
+}
+
+// The acceptance gate: the real tree lints clean — token rules AND the
+// cross-TU contract rules — under the shipped allowlist, exactly the scan
+// CI runs (espread_lint --root=<repo> --contracts src bench tests tools
+// examples).
 TEST(LintRepo, SourceTreeIsCleanUnderShippedAllowlist) {
     LintConfig cfg = bare_config();
     std::string err;
@@ -190,8 +361,13 @@ TEST(LintRepo, SourceTreeIsCleanUnderShippedAllowlist) {
         std::string(ESPREAD_REPO_ROOT) + "/tools/espread_lint/allowlist.txt",
         cfg, &err))
         << err;
-    const auto diags = espread::lint::lint_tree(
-        ESPREAD_REPO_ROOT, {"src", "bench", "tests", "examples"}, cfg);
+    ScanOptions opt;
+    opt.token_rules = true;
+    opt.contract_rules = true;
+    opt.jobs = 0;
+    const auto diags = espread::lint::scan_tree(
+        ESPREAD_REPO_ROOT, {"src", "bench", "tests", "tools", "examples"},
+        cfg, opt);
     for (const Diagnostic& d : diags) {
         ADD_FAILURE() << espread::lint::format_gcc(d);
     }

@@ -470,7 +470,7 @@ TEST(EngineTelemetry, PrometheusExpositionMatchesSnapshot) {
     EXPECT_NE(text.find("espread_windows_total " +
                         std::to_string(last.totals.windows)),
               std::string::npos);
-    EXPECT_NE(text.find("espread_window_clf_count " +
+    EXPECT_NE(text.find("espread_clf_count " +
                         std::to_string(last.clf.total())),
               std::string::npos);
     EXPECT_NE(text.find("espread_governor_windows_total{state=\"normal\"}"),

@@ -2,15 +2,15 @@
 
 #include <algorithm>
 #include <cctype>
-#include <filesystem>
 #include <fstream>
-#include <map>
-#include <set>
 #include <sstream>
+
+#include "contracts.hpp"
+#include "internal.hpp"
 
 namespace espread::lint {
 
-namespace {
+namespace internal {
 
 bool ident_char(char c) {
     return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
@@ -24,8 +24,6 @@ std::string trim(const std::string& s) {
     return s.substr(b, e - b);
 }
 
-/// `needle` present in `hay` with non-identifier characters (or the buffer
-/// edge) on both sides.
 bool contains_token(const std::string& hay, const std::string& needle) {
     std::size_t pos = 0;
     while ((pos = hay.find(needle, pos)) != std::string::npos) {
@@ -38,10 +36,9 @@ bool contains_token(const std::string& hay, const std::string& needle) {
     return false;
 }
 
-/// Token followed (after optional whitespace) by '('.
 bool contains_call(const std::string& hay, const std::string& name,
-                   std::size_t* at = nullptr) {
-    std::size_t pos = 0;
+                   std::size_t* at, std::size_t from) {
+    std::size_t pos = from;
     while ((pos = hay.find(name, pos)) != std::string::npos) {
         const bool left_ok = pos == 0 || !ident_char(hay[pos - 1]);
         std::size_t end = pos + name.size();
@@ -58,15 +55,31 @@ bool contains_call(const std::string& hay, const std::string& name,
     return false;
 }
 
-// ---- comment/literal stripping --------------------------------------------
+bool path_has_prefix(const std::string& path,
+                     const std::vector<std::string>& prefixes) {
+    return std::any_of(prefixes.begin(), prefixes.end(),
+                       [&](const std::string& p) {
+                           return path.rfind(p, 0) == 0;
+                       });
+}
 
-/// Per-line views of a translation unit: `code` has comments and the
-/// contents of string/char literals blanked out; `comment` collects the
-/// text of comments that end on (or run through) that line.
-struct Stripped {
-    std::vector<std::string> code;
-    std::vector<std::string> comment;
-};
+bool rule_allowlisted(const LintConfig& cfg, const std::string& rule,
+                      const std::string& path) {
+    return std::any_of(cfg.allowlist.begin(), cfg.allowlist.end(),
+                       [&](const AllowEntry& e) {
+                           return (e.rule == "*" || e.rule == rule) &&
+                                  glob_match(e.glob, path);
+                       });
+}
+
+bool file_has_token(const Stripped& s, const std::string& needle) {
+    return std::any_of(s.code.begin(), s.code.end(),
+                       [&](const std::string& line) {
+                           return contains_token(line, needle);
+                       });
+}
+
+// ---- comment/literal stripping --------------------------------------------
 
 Stripped strip(const std::string& content) {
     enum class St { kCode, kLine, kBlock, kStr, kChar, kRaw };
@@ -75,6 +88,7 @@ Stripped strip(const std::string& content) {
     std::string comment_line;
     St st = St::kCode;
     std::string raw_end;  // ")delim\"" terminator of the active raw string
+    StringLit lit;        // the string literal currently being collected
 
     const std::size_t n = content.size();
     for (std::size_t i = 0; i < n; ++i) {
@@ -108,6 +122,7 @@ Stripped strip(const std::string& content) {
                                             code_line[len - 2] == 'L' ||
                                             code_line[len - 2] == '8'));
                     }
+                    lit = StringLit{out.code.size(), code_line.size(), ""};
                     if (raw) {
                         std::string delim;
                         std::size_t j = i + 1;
@@ -148,9 +163,15 @@ Stripped strip(const std::string& content) {
                 break;
             case St::kStr:
                 if (c == '\\') {
+                    // Keep the escaped character verbatim (good enough for
+                    // the contract names, which never use escapes).
                     ++i;
+                    if (i < n && content[i] != '\n') lit.text += content[i];
                 } else if (c == '"') {
                     st = St::kCode;
+                    out.strings.push_back(lit);
+                } else {
+                    lit.text += c;
                 }
                 break;
             case St::kChar:
@@ -164,6 +185,9 @@ Stripped strip(const std::string& content) {
                 if (content.compare(i, raw_end.size(), raw_end) == 0) {
                     i += raw_end.size() - 1;
                     st = St::kCode;
+                    out.strings.push_back(lit);
+                } else {
+                    lit.text += c;
                 }
                 break;
         }
@@ -175,14 +199,9 @@ Stripped strip(const std::string& content) {
 
 // ---- suppressions ----------------------------------------------------------
 
+namespace {
 constexpr const char kMarker[] = "espread-lint:";
-
-/// Per-line suppression sets plus the D0 findings produced while parsing.
-struct Suppressions {
-    /// line index (0-based) -> rule ids suppressed on that line
-    std::map<std::size_t, std::set<std::string>> allow;
-    std::vector<Diagnostic> malformed;
-};
+}  // namespace
 
 Suppressions parse_suppressions(const std::string& path, const Stripped& s) {
     Suppressions out;
@@ -244,51 +263,29 @@ Suppressions parse_suppressions(const std::string& path, const Stripped& s) {
     return out;
 }
 
-// ---- rule helpers ----------------------------------------------------------
-
-bool path_has_prefix(const std::string& path,
-                     const std::vector<std::string>& prefixes) {
-    return std::any_of(prefixes.begin(), prefixes.end(),
-                       [&](const std::string& p) {
-                           return path.rfind(p, 0) == 0;
-                       });
-}
-
-bool rule_allowlisted(const LintConfig& cfg, const std::string& rule,
-                      const std::string& path) {
-    return std::any_of(cfg.allowlist.begin(), cfg.allowlist.end(),
-                       [&](const AllowEntry& e) {
-                           return (e.rule == "*" || e.rule == rule) &&
-                                  glob_match(e.glob, path);
-                       });
-}
-
-/// Emits unless suppressed on `line` or the whole file is allowlisted for
-/// the rule.  D0 findings bypass this (they are never suppressible).
-class Emitter {
-public:
-    Emitter(const std::string& path, const LintConfig& cfg,
-            const Suppressions& sup, std::vector<Diagnostic>& out)
-        : path_(path), cfg_(cfg), sup_(sup), out_(out) {}
-
-    void emit(const char* rule, std::size_t line_idx,
-              const std::string& message) {
-        if (rule_allowlisted(cfg_, rule, path_)) return;
-        const auto it = sup_.allow.find(line_idx);
-        if (it != sup_.allow.end() && it->second.count(rule) != 0) return;
-        Severity sev = Severity::kError;
-        for (const RuleInfo& r : rules()) {
-            if (rule == std::string(r.id)) sev = r.severity;
-        }
-        out_.push_back({path_, line_idx + 1, rule, message, sev});
+void Emitter::emit(const char* rule, std::size_t line_idx,
+                   const std::string& message) {
+    if (rule_allowlisted(cfg_, rule, path_)) return;
+    const auto it = sup_.allow.find(line_idx);
+    if (it != sup_.allow.end() && it->second.count(rule) != 0) return;
+    Severity sev = Severity::kError;
+    for (const RuleInfo& r : rules()) {
+        if (rule == std::string(r.id)) sev = r.severity;
     }
+    out_.push_back({path_, line_idx + 1, rule, message, sev});
+}
 
-private:
-    const std::string& path_;
-    const LintConfig& cfg_;
-    const Suppressions& sup_;
-    std::vector<Diagnostic>& out_;
-};
+}  // namespace internal
+
+namespace {
+
+using internal::contains_call;
+using internal::contains_token;
+using internal::Emitter;
+using internal::ident_char;
+using internal::path_has_prefix;
+using internal::Stripped;
+using internal::trim;
 
 // ---- D1: entropy / time sources -------------------------------------------
 
@@ -573,6 +570,19 @@ void check_d5(const std::string& path, const Stripped& s, const LintConfig& cfg,
 
 }  // namespace
 
+namespace internal {
+
+void check_token_rules(const std::string& path, const Stripped& s,
+                       const LintConfig& cfg, Emitter& e) {
+    check_d1(s, e);
+    check_d2(path, s, cfg, e);
+    check_d3(s, cfg, e);
+    check_d4(s, cfg, e);
+    check_d5(path, s, cfg, e);
+}
+
+}  // namespace internal
+
 // ---- public API ------------------------------------------------------------
 
 const std::vector<RuleInfo>& rules() {
@@ -587,6 +597,19 @@ const std::vector<RuleInfo>& rules() {
         {"D4", Severity::kError, "ungated trace/metrics sink call"},
         {"D5", Severity::kError,
          "raw new/delete or <iostream> in a library target"},
+        {"C1", Severity::kError,
+         "magic or colliding RNG split lane (registry: k<Family>Lane<Name>)"},
+        {"C2", Severity::kError,
+         "wire tag without single registry declaration, canonical decode, "
+         "or fuzz-corpus coverage"},
+        {"C3", Severity::kError,
+         "metric/trace/SLO name literal not from the contract registry, or "
+         "producer/consumer name sets drifted"},
+        {"C4", Severity::kError,
+         "bench claim-gate key not emitted by the gated bench or missing "
+         "from the baselines"},
+        {"C5", Severity::kError,
+         "dead contract registry entry no extractor ever sees"},
     };
     return kRules;
 }
@@ -620,7 +643,7 @@ bool load_allowlist_file(const std::string& path, LintConfig& cfg,
         ++line_no;
         const std::size_t hash = line.find('#');
         if (hash != std::string::npos) line = line.substr(0, hash);
-        line = trim(line);
+        line = internal::trim(line);
         if (line.empty()) continue;
         std::stringstream ss(line);
         std::string rule;
@@ -646,47 +669,58 @@ bool load_allowlist_file(const std::string& path, LintConfig& cfg,
     return true;
 }
 
-bool glob_match(const std::string& pattern, const std::string& path) {
-    // Iterative fnmatch with `*` backtracking; `*` crosses '/'.
-    std::size_t p = 0;
-    std::size_t t = 0;
-    std::size_t star = std::string::npos;
-    std::size_t star_t = 0;
-    while (t < path.size()) {
-        if (p < pattern.size() &&
-            (pattern[p] == path[t] || pattern[p] == '?')) {
-            ++p;
-            ++t;
-        } else if (p < pattern.size() && pattern[p] == '*') {
-            star = p++;
-            star_t = t;
-        } else if (star != std::string::npos) {
-            p = star + 1;
-            t = ++star_t;
-        } else {
+namespace {
+
+/// Backtracking fnmatch: `?` matches one non-'/' character, `*` a run of
+/// non-'/' characters, `**` any run including '/'.
+bool glob_match_at(const std::string& p, std::size_t pi, const std::string& s,
+                   std::size_t si) {
+    while (pi < p.size()) {
+        const char c = p[pi];
+        if (c == '*') {
+            std::size_t stars = 0;
+            while (pi < p.size() && p[pi] == '*') {
+                ++stars;
+                ++pi;
+            }
+            const bool cross = stars >= 2;
+            for (std::size_t k = si; k <= s.size(); ++k) {
+                if (glob_match_at(p, pi, s, k)) return true;
+                if (k == s.size()) break;
+                if (!cross && s[k] == '/') break;  // `*` stops at '/'
+            }
             return false;
         }
+        if (si >= s.size()) return false;
+        if (c == '?') {
+            if (s[si] == '/') return false;
+        } else if (c != s[si]) {
+            return false;
+        }
+        ++pi;
+        ++si;
     }
-    while (p < pattern.size() && pattern[p] == '*') ++p;
-    return p == pattern.size();
+    return si == s.size();
+}
+
+}  // namespace
+
+bool glob_match(const std::string& pattern, const std::string& path) {
+    return glob_match_at(pattern, 0, path, 0);
 }
 
 std::vector<Diagnostic> lint_source(const std::string& path,
                                     const std::string& content,
                                     const LintConfig& cfg) {
     std::vector<Diagnostic> out;
-    if (rule_allowlisted(cfg, "*", path)) return out;
-    const Stripped s = strip(content);
-    const Suppressions sup = parse_suppressions(path, s);
+    if (internal::rule_allowlisted(cfg, "*", path)) return out;
+    const internal::Stripped s = internal::strip(content);
+    const internal::Suppressions sup = internal::parse_suppressions(path, s);
     for (const Diagnostic& d : sup.malformed) {
-        if (!rule_allowlisted(cfg, "D0", path)) out.push_back(d);
+        if (!internal::rule_allowlisted(cfg, "D0", path)) out.push_back(d);
     }
-    Emitter e(path, cfg, sup, out);
-    check_d1(s, e);
-    check_d2(path, s, cfg, e);
-    check_d3(s, cfg, e);
-    check_d4(s, cfg, e);
-    check_d5(path, s, cfg, e);
+    internal::Emitter e(path, cfg, sup, out);
+    internal::check_token_rules(path, s, cfg, e);
     std::sort(out.begin(), out.end(),
               [](const Diagnostic& a, const Diagnostic& b) {
                   if (a.line != b.line) return a.line < b.line;
@@ -710,34 +744,8 @@ std::vector<Diagnostic> lint_file(const std::string& fs_path,
 std::vector<Diagnostic> lint_tree(const std::string& root,
                                   const std::vector<std::string>& paths,
                                   const LintConfig& cfg) {
-    namespace fs = std::filesystem;
-    static const std::set<std::string> kExts = {
-        ".cpp", ".cc", ".cxx", ".hpp", ".hxx", ".h", ".ipp"};
-    std::vector<std::string> files;
-    for (const std::string& p : paths) {
-        const fs::path abs = fs::path(root) / p;
-        if (fs::is_directory(abs)) {
-            for (const auto& entry : fs::recursive_directory_iterator(abs)) {
-                if (!entry.is_regular_file()) continue;
-                if (kExts.count(entry.path().extension().string()) == 0) {
-                    continue;
-                }
-                files.push_back(
-                    fs::relative(entry.path(), root).generic_string());
-            }
-        } else {
-            files.push_back(p);
-        }
-    }
-    std::sort(files.begin(), files.end());
-    files.erase(std::unique(files.begin(), files.end()), files.end());
-    std::vector<Diagnostic> out;
-    for (const std::string& f : files) {
-        const std::string abs = (fs::path(root) / f).generic_string();
-        std::vector<Diagnostic> d = lint_file(abs, f, cfg);
-        out.insert(out.end(), d.begin(), d.end());
-    }
-    return out;
+    ScanOptions opt;  // token rules only, single-threaded
+    return scan_tree(root, paths, cfg, opt);
 }
 
 std::string format_gcc(const Diagnostic& d) {

@@ -1,4 +1,4 @@
-// espread-lint: a determinism-contract static analyzer.
+// espread_lint — a determinism-contract static analyzer.
 //
 // Every figure in EXPERIMENTS.md depends on one invariant the compiler
 // cannot see: simulations are seed-pure and byte-identical across thread
@@ -24,6 +24,10 @@
 //       stay zero-cost when observability is off
 //   D5  ownership / include hygiene in library targets (src/): no raw
 //       `new`/`delete` expressions, no `<iostream>`
+//
+// The cross-TU contract rules C1-C5 (RNG lanes, wire tags, metric/trace/SLO
+// names, bench claim-gate keys, dead registry entries) live in
+// contracts.hpp; both rule groups run under the same scan_tree pass.
 //
 // Suppression syntax (line comments only):
 //   some_code();  // espread-lint: allow(D1) reason the exception is sound
@@ -60,7 +64,7 @@ struct RuleInfo {
 /// All rules the scanner knows, D0 first.
 const std::vector<RuleInfo>& rules();
 
-/// True if `id` names a known rule ("D0".."D5").
+/// True if `id` names a known rule ("D0".."D5", "C1".."C5").
 bool known_rule(const std::string& id);
 
 /// One allowlist entry: files matching `glob` are exempt from rule `rule`
@@ -95,7 +99,8 @@ LintConfig default_config();
 bool load_allowlist_file(const std::string& path, LintConfig& cfg,
                          std::string* err);
 
-/// `*` matches any run of characters (including '/'), `?` any one.
+/// fnmatch-style: `*` and `?` match within one path segment (never '/');
+/// `**` matches any run of characters including '/'.
 bool glob_match(const std::string& pattern, const std::string& path);
 
 /// Lints one in-memory source.  `path` is used for diagnostics and for
